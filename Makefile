@@ -1,0 +1,41 @@
+# Convenience targets for the reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-full quick examples figures clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/ -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q -s
+
+# Closer to the paper's sample counts (10x samples; much slower).
+bench-full:
+	REPRO_BENCH_SCALE=10 $(PY) -m pytest benchmarks/ --benchmark-only -q -s
+
+quick:
+	$(PY) examples/quickstart.py
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/reverse_engineer_hash.py
+	$(PY) examples/cache_isolation.py
+	$(PY) examples/hot_data_migration.py
+	$(PY) examples/nfv_service_chain.py
+	$(PY) examples/kvs_slice_aware.py
+
+figures:
+	$(PY) -m repro fig 5
+	$(PY) -m repro fig 6 --ops 4000
+	$(PY) -m repro fig 16
+	$(PY) -m repro table 1
+	$(PY) -m repro table 2
+	$(PY) -m repro table 4
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

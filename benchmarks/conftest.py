@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+The Fig. 13 / Fig. 14 / Table 3 benchmarks share the same expensive
+100 Gbps runs; session-scoped fixtures compute each once.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE`` — multiplies sample counts (default 1.0;
+  the paper-scale runs use ~10).
+"""
+
+import os
+
+import pytest
+
+
+def scale(value: int, minimum: int = 1) -> int:
+    """Apply the REPRO_BENCH_SCALE factor to a sample count."""
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(minimum, int(value * factor))
+
+
+@pytest.fixture(scope="session")
+def fig13_results():
+    from repro.experiments.fig13_forwarding import run_fig13
+
+    return run_fig13(
+        n_bulk_packets=scale(200_000),
+        micro_packets=scale(2500),
+        runs=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def fig14_results():
+    from repro.experiments.fig14_service_chain import run_fig14
+
+    return run_fig14(
+        n_bulk_packets=scale(200_000),
+        micro_packets=scale(2500),
+        runs=2,
+    )

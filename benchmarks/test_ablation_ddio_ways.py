@@ -1,0 +1,22 @@
+"""Ablation benchmark: DDIO way count (§5's '10 % limit' footnote)."""
+
+from conftest import scale
+
+from repro.experiments.ablations import format_ddio_ablation, run_ddio_ways_ablation
+
+
+def test_ablation_ddio_ways(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_ddio_ways_ablation(
+            ways_options=(0, 2, 4, 8), micro_packets=scale(1200)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_ddio_ablation(results))
+    # Without DDIO every packet read hits DRAM: clearly slower.
+    assert results[0] > results[2] * 1.03
+    # More I/O ways never hurt packet processing materially.
+    assert results[8] <= results[2] * 1.05
+    benchmark.extra_info["cycles"] = results

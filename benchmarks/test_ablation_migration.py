@@ -1,0 +1,32 @@
+"""Extension benchmark: hot-set drift and monitored migration (§8)."""
+
+from conftest import scale
+
+from repro.experiments.ablations import (
+    format_migration_experiment,
+    run_migration_experiment,
+)
+
+
+def test_ablation_migration(benchmark):
+    def run():
+        fast_drift = run_migration_experiment(ops_per_phase=scale(40_000))
+        slow_drift = run_migration_experiment(ops_per_phase=scale(160_000))
+        return fast_drift, slow_drift
+
+    fast_drift, slow_drift = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("[fast drift: 40k ops/phase]")
+    print(format_migration_experiment(fast_drift))
+    print("[slow drift: 160k ops/phase]")
+    print(format_migration_experiment(slow_drift))
+    # Slice placement helps in both regimes.
+    assert fast_drift.static_slice < fast_drift.normal
+    # Migration must amortise its copies: it gains on slow drift
+    # relative to fast drift (the §8 trade-off), and on slow drift it
+    # is at least competitive with static placement.
+    assert slow_drift.migration_gain_pct() > fast_drift.migration_gain_pct() - 0.5
+    assert slow_drift.migrating < slow_drift.normal
+    assert slow_drift.migration_gain_pct() > -2.0
+    benchmark.extra_info["fast_gain_pct"] = fast_drift.migration_gain_pct()
+    benchmark.extra_info["slow_gain_pct"] = slow_drift.migration_gain_pct()

@@ -1,0 +1,30 @@
+"""Extension benchmark: MTU frames vs DDIO eviction (§8)."""
+
+from repro.experiments.ablations import (
+    format_mtu_eviction,
+    run_mtu_eviction_experiment,
+)
+
+
+def test_ablation_mtu_eviction(benchmark):
+    def run():
+        return (
+            run_mtu_eviction_experiment(queue_depth=64, packet_size=1500),
+            run_mtu_eviction_experiment(queue_depth=768, packet_size=1500),
+            run_mtu_eviction_experiment(queue_depth=768, packet_size=64),
+        )
+
+    shallow, deep, small = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("[queue depth 64, 1500 B]")
+    print(format_mtu_eviction(shallow))
+    print("[queue depth 768, 1500 B]")
+    print(format_mtu_eviction(deep))
+    print("[queue depth 768, 64 B]")
+    print(format_mtu_eviction(small))
+    # §8: full-MTU DDIO churn under deep queues evicts enqueued
+    # headers before the core polls them; small packets do not.
+    assert deep.eviction_fraction >= shallow.eviction_fraction
+    assert deep.eviction_fraction > small.eviction_fraction
+    assert deep.mean_read_cycles > shallow.mean_read_cycles
+    benchmark.extra_info["deep_eviction"] = deep.eviction_fraction

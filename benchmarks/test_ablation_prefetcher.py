@@ -1,0 +1,27 @@
+"""Ablation benchmark: H/W prefetching vs slice-aware layout (§8)."""
+
+from conftest import scale
+
+from repro.experiments.ablations import (
+    format_prefetcher_ablation,
+    run_prefetcher_ablation,
+)
+
+
+def test_ablation_prefetcher(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_prefetcher_ablation(n_lines=8192, n_ops=scale(5000)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_prefetcher_ablation(result))
+    # §8: prefetchers are built for contiguous access — they speed up
+    # sequential scans of normal allocations...
+    assert result.speedup("sequential", "normal") > 30.0
+    # ...but can do nothing for scattered slice-aware layouts or for
+    # random access patterns.
+    assert abs(result.speedup("sequential", "slice")) < 5.0
+    assert abs(result.speedup("random", "normal")) < 5.0
+    assert abs(result.speedup("random", "slice")) < 5.0
+    benchmark.extra_info["cycles"] = result.cycles

@@ -1,0 +1,26 @@
+"""Ablation benchmark: LLC replacement policy vs scan churn."""
+
+from conftest import scale
+
+from repro.experiments.ablations import (
+    format_replacement_ablation,
+    run_replacement_ablation,
+)
+
+
+def test_ablation_replacement(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_replacement_ablation(rounds=scale(4)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_replacement_ablation(results))
+    # RRIP-family policies (what Intel ships) protect the re-referenced
+    # hot set against the one-touch scan; true LRU lets the scan flush
+    # it.  Hot-access cost must order brrip <= srrip < lru.
+    assert results["srrip"]["hot_cycles"] < results["lru"]["hot_cycles"]
+    assert results["brrip"]["hot_cycles"] <= results["srrip"]["hot_cycles"]
+    benchmark.extra_info["hot_cycles"] = {
+        k: v["hot_cycles"] for k, v in results.items()
+    }

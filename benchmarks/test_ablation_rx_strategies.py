@@ -1,0 +1,32 @@
+"""Ablation benchmark: RX header-placement strategies (§4.2)."""
+
+from conftest import scale
+
+from repro.experiments.ablations import (
+    format_rx_strategies,
+    run_rx_strategy_comparison,
+)
+
+
+def test_ablation_rx_strategies(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_rx_strategy_comparison(n_packets=scale(8000)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rx_strategies(results))
+    # Stock DPDK leaves header placement to chance.
+    assert results["fixed"].match_fraction < 0.30
+    # Both CacheDirector designs place (essentially) every header.
+    assert results["dynamic-headroom"].match_fraction > 0.99
+    assert results["sorted-pools"].match_fraction > 0.95
+    # The trade-off the paper describes: dynamic headroom provisions
+    # worst-case data room; sorted pools keep the stock footprint.
+    assert (
+        results["dynamic-headroom"].data_room_bytes
+        > results["sorted-pools"].data_room_bytes
+    )
+    benchmark.extra_info["match"] = {
+        k: r.match_fraction for k, r in results.items()
+    }

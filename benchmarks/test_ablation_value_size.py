@@ -1,0 +1,31 @@
+"""Extension benchmark: values larger than 64 B (§8)."""
+
+from conftest import scale
+
+from repro.experiments.ablations import (
+    format_value_size_ablation,
+    run_value_size_ablation,
+)
+
+
+def test_ablation_value_size(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_value_size_ablation(
+            value_sizes=(64, 128, 256),
+            n_keys=1 << 17,
+            warmup=scale(20_000),
+            measured=scale(5_000),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_value_size_ablation(results))
+    # More lines per value -> fewer transactions per second.
+    assert results[256]["normal"] < results[128]["normal"] < results[64]["normal"]
+    # Scattered multi-line values preserve slice-local placement and
+    # must not collapse against the contiguous baseline.
+    for size in (64, 128, 256):
+        ratio = results[size]["slice"] / results[size]["normal"]
+        assert ratio > 0.85
+    benchmark.extra_info["tps"] = {str(k): v for k, v in results.items()}

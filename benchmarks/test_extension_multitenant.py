@@ -1,0 +1,27 @@
+"""Extension benchmark: multi-tenant slice partitioning (§7)."""
+
+from conftest import scale
+
+from repro.experiments.multitenant import (
+    format_multitenant,
+    run_multitenant_experiment,
+)
+
+
+def test_extension_multitenant(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_multitenant_experiment(n_ops=scale(2500)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_multitenant(results))
+    # The polite tenant (tenant 0, cache-sized working set) does best
+    # under slice partitioning: spatial isolation from the noisy
+    # tenants *plus* minimum NUCA distance.
+    polite = {policy: r.tenant_cycles[0] for policy, r in results.items()}
+    assert polite["slice"] < polite["shared"]
+    assert polite["slice"] < polite["cat"]
+    # No policy should materially hurt aggregate performance.
+    assert results["slice"].mean <= results["shared"].mean * 1.05
+    benchmark.extra_info["polite_tenant_cycles"] = polite

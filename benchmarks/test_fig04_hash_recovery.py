@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 4 — reverse-engineering the hash via polling."""
+
+from repro.experiments.fig04_hash_recovery import format_fig04, run_fig04
+
+
+def test_fig04_hash_recovery(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig04(verify_addresses=256), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig04(result))
+    assert result.ground_truth_match
+    assert result.match_fraction == 1.0
+    benchmark.extra_info["match_fraction"] = result.match_fraction
+    benchmark.extra_info["addresses_polled"] = result.addresses_polled

@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 5 — per-slice access time from core 0 (Haswell)."""
+
+from conftest import scale
+
+from repro.experiments.fig05_access_time import format_profile, run_fig05
+
+
+def test_fig05_slice_access_time(benchmark):
+    profile = benchmark.pedantic(
+        lambda: run_fig05(runs=scale(5)), rounds=1, iterations=1
+    )
+    print()
+    print(format_profile(profile, "Fig. 5 — access time per slice, core 0 (Haswell)"))
+    # Paper shapes: own slice cheapest, bimodal reads, ~20-cycle
+    # spread, flat writes.
+    assert profile.fastest_slice() == 0
+    evens = [profile.read_cycles[s] for s in (0, 2, 4, 6)]
+    odds = [profile.read_cycles[s] for s in (1, 3, 5, 7)]
+    assert max(evens) < min(odds)
+    assert 15 <= profile.read_spread() <= 30
+    assert max(profile.write_cycles) - min(profile.write_cycles) < 1
+    benchmark.extra_info["read_cycles"] = profile.read_cycles
+    benchmark.extra_info["read_spread"] = profile.read_spread()

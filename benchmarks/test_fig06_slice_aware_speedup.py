@@ -1,0 +1,24 @@
+"""Benchmark: Fig. 6 — per-slice speedup of slice-aware allocation."""
+
+from conftest import scale
+
+from repro.experiments.fig06_speedup import format_fig06, run_fig06
+
+
+def test_fig06_slice_aware_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig06(n_ops=scale(2500)), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig06(result))
+    reads = result.read_speedup_pct
+    writes = result.write_speedup_pct
+    # Paper Fig. 6: close slices gain (up to ~+15-20 %), far slices
+    # lose; the pattern is bimodal on the ring.
+    assert reads[0] > 10.0
+    assert min(reads) < -10.0
+    assert min(reads[s] for s in (0, 2, 4, 6)) > max(reads[s] for s in (1, 3, 5, 7))
+    assert writes[0] > 5.0
+    assert writes[5] < -5.0
+    benchmark.extra_info["read_speedup_pct"] = reads
+    benchmark.extra_info["write_speedup_pct"] = writes

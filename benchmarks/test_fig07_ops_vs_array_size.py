@@ -1,0 +1,40 @@
+"""Benchmark: Fig. 7 — system OPS vs per-core array size (8 cores)."""
+
+from conftest import scale
+
+from repro.experiments.fig07_ops_sweep import format_fig07, run_fig07
+
+#: Reduced sweep keeping one point per regime boundary; set
+#: REPRO_BENCH_SCALE and/or edit to the full PAPER_SIZES for the 13-point run.
+BENCH_SIZES = [
+    64 * 1024,      # L2
+    256 * 1024,     # L2 boundary
+    1 << 20,        # slice regime
+    2 << 20,        # slice boundary
+    4 << 20,        # LLC regime (slice-aware overflows its slice)
+    16 << 20,       # LLC boundary
+    64 << 20,       # DRAM
+]
+
+
+def test_fig07_ops_vs_array_size(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig07(sizes=BENCH_SIZES, n_ops=scale(700)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_fig07(result))
+    reads_normal = result.normal_mops["read"]
+    reads_slice = result.slice_mops["read"]
+    # L2 regime: tie (within 5 %).
+    assert abs(reads_slice[0] - reads_normal[0]) / reads_normal[0] < 0.05
+    # Slice regime (1-2 MB): slice-aware wins clearly.
+    assert reads_slice[2] > reads_normal[2] * 1.10
+    assert reads_slice[3] > reads_normal[3] * 1.10
+    # DRAM regime: convergence (within 10 %).
+    assert abs(reads_slice[-1] - reads_normal[-1]) / reads_normal[-1] < 0.10
+    # Monotone collapse from cache speed to DRAM speed.
+    assert reads_normal[0] > reads_normal[-1]
+    benchmark.extra_info["read_normal_mops"] = reads_normal
+    benchmark.extra_info["read_slice_mops"] = reads_slice

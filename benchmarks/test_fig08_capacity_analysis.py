@@ -1,0 +1,61 @@
+"""Benchmark: the Fig. 8 capacity analysis, computed from first principles.
+
+Uses Mattson reuse distances on the actual Zipf(0.99) request stream
+to compute the best possible LRU hit rate for (a) one slice's worth of
+value lines and (b) the whole LLC's worth — the arithmetic behind
+EXPERIMENTS.md's discussion of the pure-GET headline.
+
+The horizon matters: early in a run few distinct keys have been seen
+and both capacities hit alike; the capacity gap opens as the stream
+approaches steady state (the paper's sustained-load measurement).
+"""
+
+import numpy as np
+from conftest import scale
+
+from repro.kvs.workload import ZipfKeys
+from repro.stats.reuse import hit_rate_at, reuse_distances
+
+N_KEYS = 1 << 24       # the paper's key space
+SLICE_LINES = 40_960   # 2.5 MB slice / 64 B
+LLC_LINES = 327_680    # 20 MB LLC / 64 B
+DRAM_CYCLES = 190
+NUCA_SAVING = 11       # avg LLC-latency saving of slice-0 placement
+
+
+def test_fig08_capacity_analysis(benchmark):
+    def run():
+        horizons = (scale(150_000), scale(1_200_000))
+        keys = ZipfKeys(N_KEYS, 0.99, seed=0).keys(horizons[-1])
+        out = {}
+        for horizon in horizons:
+            distances = reuse_distances(keys[:horizon])
+            out[horizon] = {
+                "slice": hit_rate_at(distances, SLICE_LINES),
+                "llc": hit_rate_at(distances, LLC_LINES),
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Fig. 8 capacity analysis (Zipf 0.99 over 2^24 keys, LRU bound)")
+    print("horizon   | slice hit | LLC hit |  gap  | DRAM cost | NUCA gain")
+    gaps = []
+    for horizon, rates in results.items():
+        gap = rates["llc"] - rates["slice"]
+        gaps.append(gap)
+        print(
+            f"{horizon:>9} | {rates['slice']:>9.3f} | {rates['llc']:>7.3f} "
+            f"| {gap:>5.3f} | {gap * DRAM_CYCLES:>7.1f} c | "
+            f"{rates['slice'] * NUCA_SAVING:>7.1f} c"
+        )
+    print(
+        "=> the capacity gap opens with the horizon; at the paper's "
+        "sustained loads (10^8+ requests) the extra DRAM cost of "
+        "one-slice placement outgrows the NUCA saving, so the +12.2% "
+        "pure-GET headline needs near-equal hit rates (EXPERIMENTS.md)."
+    )
+    # Quantitative core: the gap grows materially with the horizon.
+    assert gaps[-1] > gaps[0]
+    assert gaps[-1] > 0.04
+    benchmark.extra_info["gaps"] = gaps

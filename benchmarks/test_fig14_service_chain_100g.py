@@ -1,0 +1,20 @@
+"""Benchmark: Figs. 1 & 14 — Router-NAPT-LB @ 100 Gbps, FlowDirector."""
+
+from repro.experiments.fig14_service_chain import format_fig14
+
+
+def test_fig14_service_chain_100g(benchmark, fig14_results):
+    results = benchmark.pedantic(lambda: fig14_results, rounds=1, iterations=1)
+    print()
+    print(format_fig14(results))
+    base = results["dpdk"]
+    cd = results["cachedirector"]
+    imp = cd.summary.improvement_over(base.summary)
+    for q in (75, 90, 95, 99):
+        assert imp[f"p{q}_abs"] > 0.0
+    # The stateful chain is more memory-intensive than forwarding, so
+    # its absolute mean improvement is at least comparable.
+    assert imp["mean_abs"] > 0.0
+    assert 60.0 < base.achieved_gbps < 90.0
+    benchmark.extra_info["achieved_gbps"] = base.achieved_gbps
+    benchmark.extra_info["improvement_us"] = {q: imp[f"p{q}_abs"] for q in (75, 90, 95, 99)}

@@ -1,0 +1,43 @@
+"""Benchmark: Fig. 15 — 99th-percentile latency vs throughput knee."""
+
+from conftest import scale
+
+from repro.experiments.fig15_knee import format_fig15, run_fig15
+
+BENCH_LOADS = [5.0, 15.0, 25.0, 37.0, 50.0, 65.0, 80.0, 100.0]
+
+
+def test_fig15_tail_vs_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig15(
+            loads_gbps=BENCH_LOADS,
+            n_bulk_packets=scale(120_000),
+            micro_packets=scale(2000),
+            runs=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_fig15(result))
+    base = result.dpdk
+    cd = result.cachedirector
+    # Tail latency grows with load on both curves...
+    assert base.tail_latency_us[-1] > base.tail_latency_us[0]
+    # ...with a knee: above-knee growth rate dwarfs below-knee slope.
+    low_slope = base.fit.linear_coeffs[1]
+    assert base.fit.predict(base.fit.knee * 1.6) - base.fit.predict(
+        base.fit.knee
+    ) > 3 * low_slope * base.fit.knee * 0.6
+    # The fits explain the data (paper reports R^2 ~0.99).
+    assert base.fit.r2_quadratic > 0.8
+    assert cd.fit.r2_quadratic > 0.8
+    # CacheDirector is at or below the baseline at the highest loads
+    # (the knee shifts right: same load, lower tail).
+    assert cd.tail_latency_us[-1] <= base.tail_latency_us[-1]
+    benchmark.extra_info["dpdk_points"] = list(
+        zip(base.throughputs_gbps, base.tail_latency_us)
+    )
+    benchmark.extra_info["cd_points"] = list(
+        zip(cd.throughputs_gbps, cd.tail_latency_us)
+    )

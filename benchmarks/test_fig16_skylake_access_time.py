@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 16 — per-slice access time from core 0 (Skylake)."""
+
+from conftest import scale
+
+from repro.experiments.fig05_access_time import format_profile, run_fig16
+
+
+def test_fig16_skylake_access_time(benchmark):
+    profile = benchmark.pedantic(
+        lambda: run_fig16(runs=scale(3)), rounds=1, iterations=1
+    )
+    print()
+    print(format_profile(profile, "Fig. 16 — access time per slice, core 0 (Skylake)"))
+    assert profile.n_slices == 18
+    # Table 4: core 0's primary slice is S0, secondaries S2 and S6.
+    ordered = sorted(range(18), key=profile.read_cycles.__getitem__)
+    assert ordered[0] == 0
+    assert set(ordered[1:3]) == {2, 6}
+    benchmark.extra_info["read_cycles"] = profile.read_cycles

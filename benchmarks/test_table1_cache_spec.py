@@ -1,0 +1,12 @@
+"""Benchmark: Table 1 — cache specification of the Haswell model."""
+
+from repro.experiments.tables import format_table1, table1_rows
+
+
+def test_table1_cache_spec(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    print()
+    print(format_table1())
+    assert rows[0] == ("LLC-Slice", "2.5MB", 20, 2048, "16-6")
+    assert rows[1] == ("L2", "256kB", 8, 512, "14-6")
+    assert rows[2] == ("L1", "32kB", 8, 64, "11-6")

@@ -1,0 +1,25 @@
+"""Benchmark: low-rate latency across the Table 2 traffic classes."""
+
+from conftest import scale
+
+from repro.experiments.traffic_classes import (
+    format_traffic_classes,
+    run_traffic_class_sweep,
+)
+
+
+def test_table2_class_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_traffic_class_sweep(packets_per_class=scale(1200)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_traffic_classes(points))
+    # §5.1: "all other traffic sets show the same behavior, but with
+    # different latency values".
+    for point in points:
+        assert point.improvement_p99_us() >= 0.0  # CD never loses
+    p99s = [p.dpdk[99] for p in points]
+    assert p99s == sorted(p99s)  # larger frames, higher latency
+    benchmark.extra_info["p99_us"] = {p.packet_size: p.dpdk[99] for p in points}

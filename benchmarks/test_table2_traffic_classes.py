@@ -1,0 +1,20 @@
+"""Benchmark: Table 2 — traffic classes used in the evaluation."""
+
+import numpy as np
+
+from repro.experiments.tables import format_table2
+from repro.net.trace import CAMPUS_MIX, CampusTraceGenerator, TABLE2_CLASSES
+
+
+def test_table2_traffic_classes(benchmark):
+    def build():
+        gen = CampusTraceGenerator(seed=0)
+        return gen.sizes(50_000)
+
+    sizes = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(format_table2())
+    assert len(TABLE2_CLASSES) == 8
+    # The generated mix matches the paper's campus-trace fractions.
+    assert abs(np.mean(sizes < 100) - 0.269) < 0.01
+    assert abs(np.mean((sizes >= 100) & (sizes <= 500)) - 0.118) < 0.01

@@ -1,0 +1,23 @@
+"""Benchmark: Table 4 — preferable slices per core on the Gold 6134."""
+
+from repro.cachesim.machines import (
+    SKYLAKE_GOLD_6134,
+    SKYLAKE_PRIMARY_SLICES,
+    SKYLAKE_SECONDARY_SLICES,
+)
+from repro.core.profiles import derive_preference_table
+from repro.experiments.tables import format_table4
+
+
+def test_table4_preferable_slices(benchmark):
+    table = benchmark.pedantic(
+        lambda: derive_preference_table(SKYLAKE_GOLD_6134.interconnect_factory()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table4())
+    for core, primary in SKYLAKE_PRIMARY_SLICES.items():
+        assert table[core][0] == primary
+    for core, secondaries in SKYLAKE_SECONDARY_SLICES.items():
+        assert set(table[core][1]) == set(secondaries)

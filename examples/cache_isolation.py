@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Slice isolation vs Intel CAT under a noisy neighbour (paper §7).
+
+On the simulated Skylake (Xeon Gold 6134), a main application random-
+accesses a 2 MB working set while a neighbour core streams through the
+LLC.  Three configurations are compared: no isolation, 2-way CAT, and
+slice-aware isolation (the main app confined to its core's primary
+slice, the neighbour to every other slice) — a runnable Fig. 17.
+
+Run:  python examples/cache_isolation.py
+"""
+
+from repro.experiments.fig17_isolation import format_fig17, run_fig17
+
+
+def main() -> None:
+    print("running the noisy-neighbour experiment on the Skylake model...")
+    print("(main app: 2 MB working set on core 0; neighbour: 32 MB stream "
+          "on core 4)\n")
+    result = run_fig17(n_ops=3000, neighbour_bytes=32 << 20)
+    print(format_fig17(result))
+    print(
+        "\nInterpretation: CAT gives the main app 2/11 ways (~18% of the "
+        "LLC)\nacross all 18 slices; slice isolation gives it one whole "
+        "slice (~5%)\nbut at the lowest NUCA latency — and still wins, as "
+        "the paper found."
+    )
+
+
+if __name__ == "__main__":
+    main()

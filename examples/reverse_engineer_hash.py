@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Reverse-engineer Intel's Complex Addressing hash via CBo polling.
+
+Reproduces the paper's §2.1 methodology end to end, using *only* what
+an attacker/engineer has on real hardware: a hugepage with known
+physical addresses and the per-slice uncore lookup counters.  The
+recovered XOR masks are printed Fig. 4-style and verified against the
+polled mapping over a sweep of addresses.
+
+Run:  python examples/reverse_engineer_hash.py
+"""
+
+from repro.cachesim.machines import HASWELL_E5_2667V3, build_hierarchy
+from repro.core.reverse_engineering import (
+    PollingOracle,
+    recover_complex_hash,
+    verify_recovered_hash,
+)
+from repro.mem.address import CACHE_LINE, PAGE_1G
+from repro.mem.hugepage import PhysicalAddressSpace
+
+
+def main() -> None:
+    hierarchy = build_hierarchy(HASWELL_E5_2667V3)
+    space = PhysicalAddressSpace(seed=7)
+    hugepage = space.mmap_hugepage(PAGE_1G)
+    print(f"hugepage: virt {hugepage.virt:#x} -> phys {hugepage.phys:#x} "
+          f"({hugepage.size >> 30} GiB)\n")
+
+    # Step 1 — polling: hammer one address, watch which CBo counter moves.
+    oracle = PollingOracle(hierarchy, hugepage, core=0, polls=4)
+    probe = hugepage.phys + 0x40
+    print(f"polling phys {probe:#x}: slice {oracle(probe)} "
+          "(identified by the busiest lookup counter)")
+
+    # Step 2 — reconstruct the hash: toggle each address bit from a few
+    # bases and see which slice bits flip.
+    recovered = recover_complex_hash(
+        oracle,
+        n_slices=8,
+        base_addresses=[hugepage.phys + off for off in (0x40, 0x2500C0 & ~63, 0x1F000000)],
+        address_bits=range(6, 30),
+        max_address=hugepage.phys + hugepage.size,
+    )
+    print(f"\nprobed bits 6..29 ({oracle.addresses_polled} addresses polled);"
+          f" unknowable bits above the page: {recovered.ambiguous_bits or 'none'}")
+    print("\nrecovered masks (Fig. 4 style, bits 29..6):")
+    print("bit  " + " ".join(f"{b:>2}" for b in range(29, 5, -1)))
+    for out, mask in enumerate(recovered.hash.masks):
+        row = " ".join(" X" if mask & (1 << b) else " ." for b in range(29, 5, -1))
+        print(f"o{out}   {row}")
+
+    # Step 3 — verify over a sweep, exactly as the paper did.
+    sweep = [
+        hugepage.phys + (i * 7919 * CACHE_LINE) % hugepage.size // CACHE_LINE * CACHE_LINE
+        for i in range(512)
+    ]
+    match = verify_recovered_hash(recovered, oracle, sweep)
+    print(f"\nverification over {len(sweep)} addresses: {match:.1%} match")
+
+    truth = HASWELL_E5_2667V3.hash_factory()
+    window = (1 << 30) - 1
+    agree = [m & window for m in truth.masks] == list(recovered.hash.masks)
+    print(f"matches the published Maurice et al. masks on bits 6..29: {agree}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — a reproduction of *Make the Most out of Last Level Cache in
+Intel Processors* (Farshin, Roozbeh, Maguire Jr., Kostić; EuroSys '19).
+
+Slice-aware memory management and CacheDirector, rebuilt on a
+cycle-level simulation of Intel's sliced, NUCA last-level cache.
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.cachesim` — the cache-hierarchy simulator substrate.
+* :mod:`repro.mem` — simulated hugepages and slice-filtered allocation.
+* :mod:`repro.core` — the paper's contribution: placement API,
+  profiling, hash reverse-engineering, CacheDirector, isolation,
+  monitoring/migration.
+* :mod:`repro.dpdk` — the DPDK-like packet I/O substrate.
+* :mod:`repro.net` — packets, network functions, the latency harness.
+* :mod:`repro.kvs` — the emulated key-value store.
+* :mod:`repro.stats` — percentiles, curve fitting, reuse distances.
+* :mod:`repro.experiments` — one driver per paper figure/table.
+* :mod:`repro.cli` — ``python -m repro`` command-line front end.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,285 @@
+"""Set-associative cache models.
+
+Two implementations share one interface:
+
+* :class:`DictCache` — a fast LRU-only cache used for the per-core L1
+  and L2 levels (insertion-ordered dicts give O(1) LRU).
+* :class:`WayCache` — a way-indexed cache with pluggable replacement
+  and *way-mask* support, used for LLC slices where CAT and DDIO
+  restrict which ways a fill may claim.
+
+Both store whole line addresses (the line address doubles as the tag;
+the set index is derived from it), track a dirty bit per line, and
+report evictions so the hierarchy can propagate write-backs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cachesim.replacement import make_policy
+from repro.mem.address import CACHE_LINE_BITS, is_power_of_two
+
+#: An eviction: (line_address, was_dirty).
+Eviction = Tuple[int, bool]
+
+
+class DictCache:
+    """LRU set-associative cache backed by insertion-ordered dicts.
+
+    Args:
+        n_sets: number of sets (power of two).
+        n_ways: associativity.
+        name: label used in ``repr`` and error messages.
+    """
+
+    def __init__(self, n_sets: int, n_ways: int, name: str = "cache") -> None:
+        if not is_power_of_two(n_sets):
+            raise ValueError(f"n_sets must be a power of two, got {n_sets}")
+        if n_ways <= 0:
+            raise ValueError(f"n_ways must be positive, got {n_ways}")
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.name = name
+        self._set_mask = n_sets - 1
+        # Each set maps line_address -> dirty flag; dict order is LRU
+        # order (oldest first).
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(n_sets)]
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines this cache can hold."""
+        return self.n_sets * self.n_ways
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.capacity_lines << CACHE_LINE_BITS
+
+    def set_index(self, line_address: int) -> int:
+        """Return the set index for a line address."""
+        return (line_address >> CACHE_LINE_BITS) & self._set_mask
+
+    def lookup(self, line_address: int, write: bool = False) -> bool:
+        """Probe for a line; on hit, refresh LRU and merge dirty state."""
+        cache_set = self._sets[(line_address >> CACHE_LINE_BITS) & self._set_mask]
+        dirty = cache_set.pop(line_address, None)
+        if dirty is None:
+            return False
+        cache_set[line_address] = dirty or write
+        return True
+
+    def contains(self, line_address: int) -> bool:
+        """Probe without touching replacement state."""
+        cache_set = self._sets[(line_address >> CACHE_LINE_BITS) & self._set_mask]
+        return line_address in cache_set
+
+    def insert(self, line_address: int, dirty: bool = False) -> Optional[Eviction]:
+        """Fill a line, returning the eviction it forced (if any).
+
+        Inserting a line that is already present refreshes it and
+        merges the dirty bit without evicting anything.
+        """
+        cache_set = self._sets[(line_address >> CACHE_LINE_BITS) & self._set_mask]
+        previous = cache_set.pop(line_address, None)
+        if previous is not None:
+            cache_set[line_address] = previous or dirty
+            return None
+        victim: Optional[Eviction] = None
+        if len(cache_set) >= self.n_ways:
+            victim_address = next(iter(cache_set))
+            victim = (victim_address, cache_set.pop(victim_address))
+        cache_set[line_address] = dirty
+        return victim
+
+    def invalidate(self, line_address: int) -> Optional[bool]:
+        """Drop a line; return its dirty bit, or ``None`` if absent."""
+        cache_set = self._sets[(line_address >> CACHE_LINE_BITS) & self._set_mask]
+        return cache_set.pop(line_address, None)
+
+    def flush(self) -> List[Eviction]:
+        """Empty the cache, returning every line with its dirty bit."""
+        drained: List[Eviction] = []
+        for cache_set in self._sets:
+            drained.extend(cache_set.items())
+            cache_set.clear()
+        return drained
+
+    def occupancy(self) -> int:
+        """Return the number of valid lines currently held."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def lines(self) -> List[int]:
+        """Return every resident line address (unspecified order)."""
+        resident: List[int] = []
+        for cache_set in self._sets:
+            resident.extend(cache_set.keys())
+        return resident
+
+    def __repr__(self) -> str:
+        return (
+            f"DictCache(name={self.name!r}, n_sets={self.n_sets}, "
+            f"n_ways={self.n_ways})"
+        )
+
+
+class WayCache:
+    """Way-indexed set-associative cache with way-mask support.
+
+    Used for LLC slices: CAT restricts application fills to a subset of
+    ways and DDIO restricts I/O fills to (by default) 2 ways, so victim
+    selection must understand way identity.
+
+    Args:
+        n_sets: number of sets (power of two).
+        n_ways: associativity.
+        policy: replacement policy name (``lru``, ``plru``, ``random``).
+        name: label for diagnostics.
+        seed: seed forwarded to stochastic replacement policies.
+    """
+
+    def __init__(
+        self,
+        n_sets: int,
+        n_ways: int,
+        policy: str = "lru",
+        name: str = "cache",
+        seed: int = 0,
+    ) -> None:
+        if not is_power_of_two(n_sets):
+            raise ValueError(f"n_sets must be a power of two, got {n_sets}")
+        if n_ways <= 0:
+            raise ValueError(f"n_ways must be positive, got {n_ways}")
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.name = name
+        self.policy_name = policy
+        self._set_mask = n_sets - 1
+        self._tags: List[List[Optional[int]]] = [
+            [None] * n_ways for _ in range(n_sets)
+        ]
+        self._dirty: List[List[bool]] = [[False] * n_ways for _ in range(n_sets)]
+        self._where: List[Dict[int, int]] = [dict() for _ in range(n_sets)]
+        self._policies = [make_policy(policy, n_ways, seed=seed + i) for i in range(n_sets)]
+        self._all_ways = tuple(range(n_ways))
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines this cache can hold."""
+        return self.n_sets * self.n_ways
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.capacity_lines << CACHE_LINE_BITS
+
+    def set_index(self, line_address: int) -> int:
+        """Return the set index for a line address."""
+        return (line_address >> CACHE_LINE_BITS) & self._set_mask
+
+    def lookup(self, line_address: int, write: bool = False) -> bool:
+        """Probe for a line; on hit, refresh replacement state."""
+        index = (line_address >> CACHE_LINE_BITS) & self._set_mask
+        way = self._where[index].get(line_address)
+        if way is None:
+            return False
+        self._policies[index].touch(way)
+        if write:
+            self._dirty[index][way] = True
+        return True
+
+    def contains(self, line_address: int) -> bool:
+        """Probe without touching replacement state."""
+        index = (line_address >> CACHE_LINE_BITS) & self._set_mask
+        return line_address in self._where[index]
+
+    def way_of(self, line_address: int) -> Optional[int]:
+        """Return the way holding a line, or ``None``."""
+        index = (line_address >> CACHE_LINE_BITS) & self._set_mask
+        return self._where[index].get(line_address)
+
+    def insert(
+        self,
+        line_address: int,
+        dirty: bool = False,
+        allowed_ways: Optional[Sequence[int]] = None,
+    ) -> Optional[Eviction]:
+        """Fill a line, optionally restricted to *allowed_ways*.
+
+        Preference order: refresh in place if already resident
+        (regardless of way mask — a hit never migrates ways), else an
+        invalid allowed way, else evict the policy's victim among the
+        allowed ways.
+        """
+        index = (line_address >> CACHE_LINE_BITS) & self._set_mask
+        where = self._where[index]
+        existing = where.get(line_address)
+        if existing is not None:
+            self._policies[index].touch(existing)
+            if dirty:
+                self._dirty[index][existing] = True
+            return None
+        ways = self._all_ways if allowed_ways is None else tuple(allowed_ways)
+        if not ways:
+            raise ValueError("allowed_ways must be non-empty")
+        tags = self._tags[index]
+        for way in ways:
+            if tags[way] is None:
+                self._fill(index, way, line_address, dirty)
+                return None
+        victim_way = self._policies[index].victim(ways)
+        victim_tag = tags[victim_way]
+        assert victim_tag is not None
+        victim_dirty = self._dirty[index][victim_way]
+        del where[victim_tag]
+        self._fill(index, victim_way, line_address, dirty)
+        return (victim_tag, victim_dirty)
+
+    def _fill(self, index: int, way: int, line_address: int, dirty: bool) -> None:
+        self._tags[index][way] = line_address
+        self._dirty[index][way] = dirty
+        self._where[index][line_address] = way
+        self._policies[index].reset(way)
+
+    def invalidate(self, line_address: int) -> Optional[bool]:
+        """Drop a line; return its dirty bit, or ``None`` if absent."""
+        index = (line_address >> CACHE_LINE_BITS) & self._set_mask
+        way = self._where[index].pop(line_address, None)
+        if way is None:
+            return None
+        self._tags[index][way] = None
+        dirty = self._dirty[index][way]
+        self._dirty[index][way] = False
+        return dirty
+
+    def flush(self) -> List[Eviction]:
+        """Empty the cache, returning every line with its dirty bit."""
+        drained: List[Eviction] = []
+        for index in range(self.n_sets):
+            for line_address, way in self._where[index].items():
+                drained.append((line_address, self._dirty[index][way]))
+            self._where[index].clear()
+            self._tags[index] = [None] * self.n_ways
+            self._dirty[index] = [False] * self.n_ways
+        return drained
+
+    def occupancy(self) -> int:
+        """Return the number of valid lines currently held."""
+        return sum(len(where) for where in self._where)
+
+    def lines(self) -> List[int]:
+        """Return every resident line address (unspecified order)."""
+        resident: List[int] = []
+        for where in self._where:
+            resident.extend(where.keys())
+        return resident
+
+    def set_occupancy(self, index: int) -> int:
+        """Return the number of valid lines in one set."""
+        return len(self._where[index])
+
+    def __repr__(self) -> str:
+        return (
+            f"WayCache(name={self.name!r}, n_sets={self.n_sets}, "
+            f"n_ways={self.n_ways}, policy={self.policy_name!r})"
+        )

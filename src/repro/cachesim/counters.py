@@ -1,0 +1,117 @@
+"""Uncore performance counters (CBo / CHA).
+
+Each LLC slice on Haswell carries a *C-Box* (CBo) monitoring unit; the
+Xeon Scalable family renames it CHA.  The paper's reverse-engineering
+methodology (§2.1) needs exactly one capability from them: counting
+lookups per slice, so that polling one address many times reveals which
+slice it maps to.  We model a small event set per slice plus a
+snapshot/delta API mirroring how real perf counters are sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Event names understood by :class:`SliceCounters`.
+EVENT_LOOKUPS = "llc_lookups"
+EVENT_HITS = "llc_hits"
+EVENT_MISSES = "llc_misses"
+EVENT_FILLS = "llc_fills"
+EVENT_EVICTIONS = "llc_evictions"
+EVENT_WRITEBACKS = "llc_writebacks"
+EVENT_DDIO_FILLS = "ddio_fills"
+EVENT_DDIO_READS = "ddio_reads"
+
+ALL_EVENTS: Tuple[str, ...] = (
+    EVENT_LOOKUPS,
+    EVENT_HITS,
+    EVENT_MISSES,
+    EVENT_FILLS,
+    EVENT_EVICTIONS,
+    EVENT_WRITEBACKS,
+    EVENT_DDIO_FILLS,
+    EVENT_DDIO_READS,
+)
+
+
+@dataclass
+class SliceCounters:
+    """Event counters for one LLC slice (one CBo/CHA)."""
+
+    slice_index: int
+    counts: Dict[str, int] = field(default_factory=lambda: {e: 0 for e in ALL_EVENTS})
+
+    def count(self, event: str, amount: int = 1) -> None:
+        """Increment *event* by *amount*."""
+        if event not in self.counts:
+            raise KeyError(f"unknown uncore event {event!r}")
+        self.counts[event] += amount
+
+    def read(self, event: str) -> int:
+        """Return the current value of *event*."""
+        if event not in self.counts:
+            raise KeyError(f"unknown uncore event {event!r}")
+        return self.counts[event]
+
+    def reset(self) -> None:
+        """Zero all events (as writing the perf-counter MSRs would)."""
+        for event in self.counts:
+            self.counts[event] = 0
+
+
+class UncoreCounters:
+    """All per-slice counters of one socket, with snapshot/delta reads.
+
+    The polling methodology samples counters, performs accesses, then
+    samples again and attributes the delta; :meth:`snapshot` /
+    :meth:`delta` provide that pattern.
+    """
+
+    def __init__(self, n_slices: int) -> None:
+        if n_slices <= 0:
+            raise ValueError(f"n_slices must be positive, got {n_slices}")
+        self.slices: List[SliceCounters] = [SliceCounters(i) for i in range(n_slices)]
+
+    @property
+    def n_slices(self) -> int:
+        """Number of monitored slices."""
+        return len(self.slices)
+
+    def count(self, slice_index: int, event: str, amount: int = 1) -> None:
+        """Increment *event* on slice *slice_index*."""
+        self.slices[slice_index].count(event, amount)
+
+    def read(self, slice_index: int, event: str) -> int:
+        """Return the value of *event* on slice *slice_index*."""
+        return self.slices[slice_index].read(event)
+
+    def read_all(self, event: str) -> List[int]:
+        """Return the value of *event* on every slice, by slice index."""
+        return [s.read(event) for s in self.slices]
+
+    def snapshot(self, event: str) -> Tuple[int, ...]:
+        """Capture the current per-slice values of *event*."""
+        return tuple(self.read_all(event))
+
+    def delta(self, event: str, since: Tuple[int, ...]) -> List[int]:
+        """Per-slice increase of *event* since a :meth:`snapshot`."""
+        if len(since) != self.n_slices:
+            raise ValueError(
+                f"snapshot has {len(since)} slices, counters have {self.n_slices}"
+            )
+        return [now - before for now, before in zip(self.read_all(event), since)]
+
+    def busiest_slice(self, event: str, since: Tuple[int, ...]) -> int:
+        """Return the slice whose *event* grew most since the snapshot.
+
+        This is the heart of the polling technique: after hammering one
+        address, the busiest lookup counter identifies its slice.
+        """
+        deltas = self.delta(event, since)
+        return max(range(len(deltas)), key=deltas.__getitem__)
+
+    def reset(self) -> None:
+        """Zero every counter on every slice."""
+        for slice_counters in self.slices:
+            slice_counters.reset()

@@ -1,0 +1,426 @@
+"""The full cache hierarchy: per-core L1/L2, sliced LLC, DRAM.
+
+This is the cycle-accounting engine every experiment runs on.  An
+access walks L1 → L2 → LLC slice → DRAM exactly as in Fig. 2 of the
+paper and returns the number of cycles the *issuing core* stalls.
+
+Timing model (all knobs in :class:`LatencySpec`):
+
+* Loads cost the latency of the level that services them; LLC hits add
+  the NUCA interconnect distance — the effect the whole paper is about.
+* Stores retire through the store buffer (write-back, write-allocate):
+  a store costs the constant commit latency plus an optional
+  ``rfo_fraction`` of the fetch latency (0 by default — the paper's
+  Fig. 5b shows single writes are flat regardless of slice).  Slice
+  distance surfaces for *sustained* writes via the write-back drain:
+  dirty L2 victims are written to their LLC slice and a configurable
+  fraction of that NUCA latency is charged to the access that forced
+  the eviction (reproducing Fig. 6b).
+* Dirty LLC victims charge a DRAM write-back drain cost.
+
+Inclusivity: Haswell's LLC is inclusive (LLC evictions back-invalidate
+private caches); Skylake's is a non-inclusive victim cache (DRAM fills
+bypass the LLC, which is populated by L2 evictions instead) — §6.
+
+Coherence: private caches are modelled per core without a full MESI
+protocol; the experiments touch each line from a single core at a
+time, and the one true cross-agent writer — the NIC's DMA — explicitly
+invalidates private copies via :meth:`CacheHierarchy.invalidate_private`
+(see :mod:`repro.cachesim.ddio`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cachesim.cache import DictCache
+from repro.cachesim.llc import SlicedLLC
+from repro.mem.address import CACHE_LINE, line_address
+
+
+@dataclass
+class LatencySpec:
+    """Cycle costs of the memory hierarchy (defaults: Haswell @ 3.2 GHz).
+
+    Attributes:
+        l1_hit: load-to-use latency of an L1 hit.
+        l2_hit: latency of an L2 hit.
+        dram: latency of a DRAM access (~60 ns at 3.2 GHz).
+        store_commit: cycles a store occupies the core when the store
+            buffer absorbs it.
+        rfo_fraction: fraction of the fetch latency charged to a store
+            miss (0.0 = store buffer hides the read-for-ownership).
+        wb_l1_visible: cycles charged when a dirty L1 victim drains to
+            L2.
+        wb_llc_fraction: fraction of the (base + NUCA) LLC latency
+            charged when a dirty L2 victim drains to its slice.
+        wb_dram_visible: cycles charged when a dirty LLC victim drains
+            to DRAM; kept well below the DRAM latency because eviction
+            writes are buffered and mostly hidden from the core.
+    """
+
+    l1_hit: int = 4
+    l2_hit: int = 11
+    dram: int = 190
+    store_commit: int = 4
+    rfo_fraction: float = 0.0
+    wb_l1_visible: int = 1
+    wb_llc_fraction: float = 0.5
+    wb_dram_visible: int = 12
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate hit/miss counters for the whole hierarchy."""
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    dram_accesses: int = 0
+    dram_writebacks: int = 0
+    reads: int = 0
+    writes: int = 0
+    cycles: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dict."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a single line access."""
+
+    cycles: int
+    level: str  # "l1" | "l2" | "llc" | "dram"
+    slice_index: Optional[int] = None
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 private caches over a shared sliced LLC.
+
+    Args:
+        n_cores: number of cores on the socket.
+        llc: the shared sliced LLC.
+        l1_sets/l1_ways: geometry of each core's L1D.
+        l2_sets/l2_ways: geometry of each core's (private) L2.
+        latency: cycle-cost model.
+        inclusive: ``True`` for Haswell (inclusive LLC), ``False`` for
+            Skylake (non-inclusive victim LLC).
+        prefetchers: optional per-core L2 prefetchers (see
+            :mod:`repro.cachesim.prefetch`).
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        llc: SlicedLLC,
+        l1_sets: int = 64,
+        l1_ways: int = 8,
+        l2_sets: int = 512,
+        l2_ways: int = 8,
+        latency: Optional[LatencySpec] = None,
+        inclusive: bool = True,
+        prefetchers: Optional[List[object]] = None,
+    ) -> None:
+        if n_cores <= 0:
+            raise ValueError(f"n_cores must be positive, got {n_cores}")
+        if n_cores > llc.interconnect.n_cores:
+            raise ValueError(
+                f"{n_cores} cores exceed the interconnect's "
+                f"{llc.interconnect.n_cores}"
+            )
+        self.n_cores = n_cores
+        self.llc = llc
+        self.latency = latency if latency is not None else LatencySpec()
+        self.inclusive = inclusive
+        self.l1s: List[DictCache] = [
+            DictCache(l1_sets, l1_ways, name=f"l1-core{c}") for c in range(n_cores)
+        ]
+        self.l2s: List[DictCache] = [
+            DictCache(l2_sets, l2_ways, name=f"l2-core{c}") for c in range(n_cores)
+        ]
+        self.prefetchers = prefetchers if prefetchers is not None else [None] * n_cores
+        if len(self.prefetchers) != n_cores:
+            raise ValueError("need one prefetcher slot per core")
+        self.stats = HierarchyStats()
+        # Cores whose private caches may hold lines; invalidations only
+        # need to visit these (single-core workloads skip 7/8 of the
+        # private-cache probes).
+        self._active_cores: set = set()
+
+    # ------------------------------------------------------------------
+    # Demand accesses
+    # ------------------------------------------------------------------
+
+    def access_line(self, core: int, line: int, write: bool = False) -> AccessResult:
+        """Access one cache line; returns cycles and servicing level."""
+        stats = self.stats
+        lat = self.latency
+        self._active_cores.add(core)
+        if write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+
+        if self.l1s[core].lookup(line, write=write):
+            stats.l1_hits += 1
+            cycles = lat.store_commit if write else lat.l1_hit
+            stats.cycles += cycles
+            return AccessResult(cycles, "l1")
+        stats.l1_misses += 1
+
+        if self.l2s[core].lookup(line, write=False):
+            stats.l2_hits += 1
+            if write:
+                cycles = lat.store_commit + int(lat.rfo_fraction * lat.l2_hit)
+            else:
+                cycles = lat.l2_hit
+            cycles += self._fill_l1(core, line, dirty=write)
+            stats.cycles += cycles
+            return AccessResult(cycles, "l2")
+        stats.l2_misses += 1
+
+        hit, slice_index = self.llc.lookup(line, write=False)
+        if hit:
+            stats.llc_hits += 1
+            load_latency = self.llc.access_latency(core, slice_index)
+            if write:
+                cycles = lat.store_commit + int(lat.rfo_fraction * load_latency)
+            else:
+                cycles = load_latency
+            cycles += self._fill_l2(core, line, dirty=False)
+            cycles += self._fill_l1(core, line, dirty=write)
+            cycles += self._run_prefetcher(core, line)
+            stats.cycles += cycles
+            return AccessResult(cycles, "llc", slice_index)
+        stats.llc_misses += 1
+
+        stats.dram_accesses += 1
+        if write:
+            cycles = lat.store_commit + int(lat.rfo_fraction * lat.dram)
+        else:
+            cycles = lat.dram
+        if self.inclusive:
+            cycles += self._fill_llc(core, line, dirty=False)
+        cycles += self._fill_l2(core, line, dirty=False)
+        cycles += self._fill_l1(core, line, dirty=write)
+        cycles += self._run_prefetcher(core, line)
+        stats.cycles += cycles
+        return AccessResult(cycles, "dram", slice_index)
+
+    def read(self, core: int, address: int, size: int = CACHE_LINE) -> int:
+        """Read ``[address, address+size)``; returns total stall cycles."""
+        return self._span(core, address, size, write=False)
+
+    def write(self, core: int, address: int, size: int = CACHE_LINE) -> int:
+        """Write ``[address, address+size)``; returns total stall cycles."""
+        return self._span(core, address, size, write=True)
+
+    def _span(self, core: int, address: int, size: int, write: bool) -> int:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        first = line_address(address)
+        last = line_address(address + size - 1)
+        cycles = 0
+        for line in range(first, last + CACHE_LINE, CACHE_LINE):
+            cycles += self.access_line(core, line, write=write).cycles
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Fill / write-back plumbing
+    # ------------------------------------------------------------------
+
+    def _fill_l1(self, core: int, line: int, dirty: bool) -> int:
+        """Install a line in L1; returns visible drain cycles."""
+        victim = self.l1s[core].insert(line, dirty=dirty)
+        if victim is None or not victim[1]:
+            return 0
+        # Dirty L1 victim drains into L2.
+        extra = self.latency.wb_l1_visible
+        l2_victim = self.l2s[core].insert(victim[0], dirty=True)
+        return extra + self._drain_l2_victim(core, l2_victim)
+
+    def _fill_l2(self, core: int, line: int, dirty: bool) -> int:
+        """Install a line in L2; returns visible drain cycles."""
+        victim = self.l2s[core].insert(line, dirty=dirty)
+        return self._drain_l2_victim(core, victim)
+
+    def _drain_l2_victim(self, core: int, victim: Optional[Tuple[int, bool]]) -> int:
+        """Handle an L2 eviction (write-back and/or victim-cache fill)."""
+        if victim is None:
+            return 0
+        vline, vdirty = victim
+        lat = self.latency
+        if self.inclusive:
+            if not vdirty:
+                return 0
+            # Inclusive: the LLC already tracks the line; update it in
+            # place (or refill if it raced out) and charge the drain.
+            slice_index = self.llc.hash.slice_of(vline)
+            slice_cache = self.llc.slices[slice_index]
+            if not slice_cache.lookup(vline, write=True):
+                self._fill_llc(core, vline, dirty=True)
+            return int(lat.wb_llc_fraction * self.llc.access_latency(core, slice_index))
+        # Non-inclusive victim LLC: every L2 eviction is inserted.
+        slice_index = self.llc.hash.slice_of(vline)
+        extra = 0
+        if vdirty:
+            extra += int(lat.wb_llc_fraction * self.llc.access_latency(core, slice_index))
+        llc_victim = self.llc.fill(vline, core=core, dirty=vdirty)
+        if llc_victim is not None and llc_victim[1]:
+            self.stats.dram_writebacks += 1
+            extra += lat.wb_dram_visible
+        return extra
+
+    def _fill_llc(self, core: int, line: int, dirty: bool, io: bool = False) -> int:
+        """Install a line in the LLC; returns visible drain cycles."""
+        victim = self.llc.fill(line, core=core, dirty=dirty, io=io)
+        if victim is None:
+            return 0
+        vline, vdirty = victim
+        if self.inclusive:
+            # Inclusive LLC: evicting a line evicts it everywhere.
+            private_dirty = self.invalidate_private(vline)
+            vdirty = vdirty or private_dirty
+        if vdirty:
+            self.stats.dram_writebacks += 1
+            return self.latency.wb_dram_visible
+        return 0
+
+    def _run_prefetcher(self, core: int, line: int) -> int:
+        """Feed the core's prefetcher after a demand L2 miss."""
+        prefetcher = self.prefetchers[core]
+        if prefetcher is None:
+            return 0
+        for target in prefetcher.observe(line):
+            self.prefetch_line(core, target)
+        return 0
+
+    # ------------------------------------------------------------------
+    # Non-demand operations
+    # ------------------------------------------------------------------
+
+    def prefetch_line(self, core: int, line: int) -> None:
+        """Bring a line into the core's L2 without charging the core."""
+        self._active_cores.add(core)
+        if self.l2s[core].contains(line):
+            return
+        hit, _ = self.llc.lookup(line, write=False)
+        if not hit:
+            self.stats.dram_accesses += 1
+            if self.inclusive:
+                self._fill_llc(core, line, dirty=False)
+        self._fill_l2(core, line, dirty=False)
+
+    def warm(self, core: int, address: int, size: int = CACHE_LINE) -> None:
+        """Touch a buffer without recording stats (setup helper)."""
+        saved = self.stats
+        self.stats = HierarchyStats()
+        try:
+            self._span(core, address, size, write=False)
+        finally:
+            self.stats = saved
+
+    def clflush(self, address: int, size: int = CACHE_LINE) -> None:
+        """Flush ``[address, address+size)`` from the entire hierarchy."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        first = line_address(address)
+        last = line_address(address + size - 1)
+        for line in range(first, last + CACHE_LINE, CACHE_LINE):
+            self.invalidate_private(line)
+            self.llc.invalidate(line)
+
+    def invalidate_private(self, line: int) -> bool:
+        """Drop a line from every core's L1/L2; ``True`` if any copy was dirty."""
+        dirty = False
+        for core in self._active_cores:
+            d1 = self.l1s[core].invalidate(line)
+            d2 = self.l2s[core].invalidate(line)
+            dirty = dirty or bool(d1) or bool(d2)
+        return dirty
+
+    def dma_fill_line(self, line: int) -> None:
+        """Install an I/O-written line via DDIO (used by the NIC model).
+
+        DDIO write allocations land in the LLC's DDIO ways, never in
+        private caches; any stale private copies are invalidated.
+        """
+        self.invalidate_private(line)
+        self._fill_llc(core=None, line=line, dirty=True, io=True)
+
+    def locate(self, line: int) -> str:
+        """Return where a line currently lives: ``l1``/``l2``/``llc``/``dram``.
+
+        Private caches are searched across all cores (diagnostic aid).
+        """
+        for core in range(self.n_cores):
+            if self.l1s[core].contains(line):
+                return "l1"
+        for core in range(self.n_cores):
+            if self.l2s[core].contains(line):
+                return "l2"
+        if self.llc.contains(line):
+            return "llc"
+        return "dram"
+
+    def drop_all(self) -> None:
+        """Empty every cache (fresh-machine state between experiments)."""
+        for cache in self.l1s:
+            cache.flush()
+        for cache in self.l2s:
+            cache.flush()
+        self.llc.flush()
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants of the hierarchy state.
+
+        Used by the property-based tests as a model checker after
+        arbitrary operation sequences:
+
+        * no cache holds more lines than its capacity, per set;
+        * every line is in the slice its address hashes to;
+        * on an inclusive LLC, every line in any private cache is also
+          present in the LLC (the defining inclusion property).
+
+        Raises:
+            AssertionError: on any violation.
+        """
+        for caches in (self.l1s, self.l2s):
+            for cache in caches:
+                assert cache.occupancy() <= cache.capacity_lines, cache
+        for slice_index, slice_cache in enumerate(self.llc.slices):
+            assert slice_cache.occupancy() <= slice_cache.capacity_lines
+            for line in slice_cache.lines():
+                assert self.llc.slice_of(line) == slice_index, (
+                    f"line {line:#x} cached in slice {slice_index} but "
+                    f"hashes to {self.llc.slice_of(line)}"
+                )
+        if self.inclusive:
+            for core in range(self.n_cores):
+                for line in self.l1s[core].lines():
+                    assert self.llc.contains(line), (
+                        f"inclusion violated: {line:#x} in L1[{core}] "
+                        "but not in LLC"
+                    )
+                for line in self.l2s[core].lines():
+                    assert self.llc.contains(line), (
+                        f"inclusion violated: {line:#x} in L2[{core}] "
+                        "but not in LLC"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheHierarchy(n_cores={self.n_cores}, inclusive={self.inclusive}, "
+            f"llc={self.llc!r})"
+        )

@@ -1,0 +1,275 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    python -m repro profile --machine haswell
+    python -m repro recover-hash
+    python -m repro fig 6 --ops 4000
+    python -m repro fig 14 --offered 100
+    python -m repro table 4
+    python -m repro headroom --packets 10000
+    python -m repro ablation prefetcher
+
+Every subcommand prints the same rows/series the paper's figure or
+table reports (see EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cachesim.machines import HASWELL_E5_2667V3, SKYLAKE_GOLD_6134
+
+MACHINES = {
+    "haswell": HASWELL_E5_2667V3,
+    "skylake": SKYLAKE_GOLD_6134,
+}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.fig05_access_time import format_profile, run_fig05
+
+    spec = MACHINES[args.machine]
+    profile = run_fig05(spec=spec, core=args.core, runs=args.runs)
+    print(
+        format_profile(
+            profile, f"Per-slice access time, core {args.core} ({spec.name})"
+        )
+    )
+    return 0
+
+
+def _cmd_recover_hash(args: argparse.Namespace) -> int:
+    from repro.experiments.fig04_hash_recovery import format_fig04, run_fig04
+
+    result = run_fig04(verify_addresses=args.verify)
+    print(format_fig04(result))
+    return 0 if result.ground_truth_match else 1
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import tables
+
+    if args.number == 1:
+        print(tables.format_table1())
+    elif args.number == 2:
+        print(tables.format_table2())
+    elif args.number == 4:
+        print(tables.format_table4())
+    else:
+        print(
+            "Table 3 is computed from the Fig. 13/14 runs: "
+            "use `python -m repro fig 13` and `fig 14`, or the "
+            "benchmark suite.",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    number = args.number
+    if number == 4:
+        return _cmd_recover_hash(args)
+    if number in (5, 16):
+        from repro.experiments.fig05_access_time import (
+            format_profile,
+            run_fig05,
+            run_fig16,
+        )
+
+        profile = run_fig16(runs=args.runs) if number == 16 else run_fig05(runs=args.runs)
+        print(format_profile(profile, f"Fig. {number}"))
+        return 0
+    if number == 6:
+        from repro.experiments.fig06_speedup import format_fig06, run_fig06
+
+        print(format_fig06(run_fig06(n_ops=args.ops)))
+        return 0
+    if number == 7:
+        from repro.experiments.fig07_ops_sweep import format_fig07, run_fig07
+
+        print(format_fig07(run_fig07(n_ops=max(200, args.ops // 4))))
+        return 0
+    if number == 8:
+        from repro.experiments.fig08_kvs import format_fig08, run_fig08
+
+        print(
+            format_fig08(
+                run_fig08(
+                    warmup_requests=args.warmup,
+                    measured_requests=args.ops,
+                )
+            )
+        )
+        return 0
+    if number == 12:
+        from repro.experiments.fig12_low_rate import format_fig12, run_fig12
+
+        print(format_fig12(run_fig12(packets_per_run=args.ops, runs=args.runs)))
+        return 0
+    if number in (1, 13, 14):
+        if number == 13:
+            from repro.experiments.fig13_forwarding import format_fig13 as fmt
+            from repro.experiments.fig13_forwarding import run_fig13 as run
+        else:
+            from repro.experiments.fig14_service_chain import format_fig14 as fmt
+            from repro.experiments.fig14_service_chain import run_fig14 as run
+        print(
+            fmt(
+                run(
+                    offered_gbps=args.offered,
+                    n_bulk_packets=args.bulk,
+                    micro_packets=args.micro,
+                    runs=args.runs,
+                )
+            )
+        )
+        return 0
+    if number == 15:
+        from repro.experiments.fig15_knee import format_fig15, run_fig15
+
+        print(
+            format_fig15(
+                run_fig15(n_bulk_packets=args.bulk, micro_packets=args.micro)
+            )
+        )
+        return 0
+    if number == 17:
+        from repro.experiments.fig17_isolation import format_fig17, run_fig17
+
+        print(format_fig17(run_fig17(n_ops=args.ops)))
+        return 0
+    print(f"no driver for figure {number}", file=sys.stderr)
+    return 2
+
+
+def _cmd_headroom(args: argparse.Namespace) -> int:
+    from repro.experiments.headroom import format_headroom, run_headroom_experiment
+
+    print(format_headroom(run_headroom_experiment(n_packets=args.packets)))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    name = args.which
+    if name == "ddio":
+        print(ablations.format_ddio_ablation(ablations.run_ddio_ways_ablation()))
+    elif name == "prefetcher":
+        print(
+            ablations.format_prefetcher_ablation(ablations.run_prefetcher_ablation())
+        )
+    elif name == "replacement":
+        print(
+            ablations.format_replacement_ablation(
+                ablations.run_replacement_ablation()
+            )
+        )
+    elif name == "migration":
+        print(
+            ablations.format_migration_experiment(
+                ablations.run_migration_experiment()
+            )
+        )
+    elif name == "value-size":
+        print(
+            ablations.format_value_size_ablation(ablations.run_value_size_ablation())
+        )
+    elif name == "mtu":
+        print(ablations.format_mtu_eviction(ablations.run_mtu_eviction_experiment()))
+    elif name == "rx-strategies":
+        print(
+            ablations.format_rx_strategies(ablations.run_rx_strategy_comparison())
+        )
+    elif name == "multitenant":
+        from repro.experiments.multitenant import (
+            format_multitenant,
+            run_multitenant_experiment,
+        )
+
+        print(format_multitenant(run_multitenant_experiment()))
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Make the Most out of Last Level Cache in "
+            "Intel Processors' (EuroSys '19) — run any paper experiment."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="per-slice access latency (Figs. 5/16)")
+    p.add_argument("--machine", choices=sorted(MACHINES), default="haswell")
+    p.add_argument("--core", type=int, default=0)
+    p.add_argument("--runs", type=int, default=5)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("recover-hash", help="reverse-engineer the hash (Fig. 4)")
+    p.add_argument("--verify", type=int, default=256, help="verification sweep size")
+    p.set_defaults(func=_cmd_recover_hash)
+
+    p = sub.add_parser("table", help="print a paper table")
+    p.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("fig", help="run a paper figure's experiment")
+    p.add_argument("number", type=int, choices=(1, 4, 5, 6, 7, 8, 12, 13, 14, 15, 16, 17))
+    p.add_argument("--ops", type=int, default=3000, help="ops/packets per run")
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--warmup", type=int, default=60_000, help="KVS warm-up requests")
+    p.add_argument("--offered", type=float, default=100.0, help="offered load (Gbps)")
+    p.add_argument("--bulk", type=int, default=150_000, help="bulk packets per run")
+    p.add_argument("--micro", type=int, default=2500, help="microsim packets")
+    p.add_argument("--verify", type=int, default=256)
+    p.set_defaults(func=_cmd_fig)
+
+    p = sub.add_parser("headroom", help="dynamic headroom distribution (§4.2)")
+    p.add_argument("--packets", type=int, default=8000)
+    p.set_defaults(func=_cmd_headroom)
+
+    p = sub.add_parser("ablation", help="run a design ablation")
+    p.add_argument(
+        "which",
+        choices=(
+            "ddio",
+            "prefetcher",
+            "replacement",
+            "migration",
+            "value-size",
+            "mtu",
+            "rx-strategies",
+            "multitenant",
+        ),
+    )
+    p.set_defaults(func=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — fine.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's contribution: slice-aware memory management.
+
+* :mod:`repro.core.slice_aware` — the allocation-policy API
+  applications use to get memory mapped to chosen LLC slices (§3).
+* :mod:`repro.core.profiles` — slice-latency profiling, the §2.2
+  methodology that measures each core's distance to each slice.
+* :mod:`repro.core.reverse_engineering` — recovering the slice mapping
+  and the Complex Addressing hash via uncore-counter polling (§2.1).
+* :mod:`repro.core.cache_director` — CacheDirector's dynamic-headroom
+  computation (§4), wired into the DPDK substrate by
+  :mod:`repro.dpdk.nic`.
+* :mod:`repro.core.isolation` — slice isolation vs. Intel CAT (§7).
+"""
+
+from repro.core.cache_director import (
+    CacheDirector,
+    headroom_lines_for_slice,
+    pack_headrooms,
+    unpack_headroom,
+)
+from repro.core.profiles import (
+    SliceLatencyProfile,
+    derive_preference_table,
+    measure_slice_latencies,
+)
+from repro.core.reverse_engineering import (
+    PollingOracle,
+    recover_complex_hash,
+    verify_recovered_hash,
+)
+from repro.core.slice_aware import SliceAwareContext, LinearBuffer
+
+__all__ = [
+    "CacheDirector",
+    "LinearBuffer",
+    "PollingOracle",
+    "SliceAwareContext",
+    "SliceLatencyProfile",
+    "derive_preference_table",
+    "headroom_lines_for_slice",
+    "measure_slice_latencies",
+    "pack_headrooms",
+    "recover_complex_hash",
+    "unpack_headroom",
+    "verify_recovered_hash",
+]

@@ -1,0 +1,89 @@
+"""Cache isolation: Intel CAT (ways) vs slice-aware isolation (§7).
+
+Two ways to wall an application's working set off from a noisy
+neighbour:
+
+* **CAT** — give the application a CLOS owning a few LLC *ways*; it
+  keeps ``ways/n_ways`` of every slice, but still pays the average
+  NUCA distance and shares slice bandwidth.
+* **Slice isolation** — allocate the application's working set from
+  addresses mapping to one slice near its core, and give the neighbour
+  memory that maps everywhere *except* that slice.  The application
+  gets a smaller fraction of the LLC (one slice) but at the lowest
+  possible latency — the paper measures ~11 % better execution time
+  than 2-way CAT despite owning less capacity.
+
+The helpers here configure both schemes on a simulated machine; the
+Fig. 17 experiment driver lives in :mod:`repro.experiments.fig17_isolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cachesim.cat import CatController
+from repro.core.slice_aware import SliceAwareContext
+from repro.mem.allocator import ScatteredBuffer
+
+
+def configure_cat_way_isolation(
+    cat: CatController,
+    main_core: int,
+    main_ways: int,
+    neighbour_cores: Sequence[int],
+) -> None:
+    """Partition the LLC ways: *main_ways* for the main application.
+
+    CLOS 1 (main core) owns the lowest *main_ways* ways; CLOS 2
+    (neighbours) owns the rest.  Masks are contiguous as CAT requires.
+    """
+    if not 0 < main_ways < cat.n_ways:
+        raise ValueError(
+            f"main_ways must be in 1..{cat.n_ways - 1}, got {main_ways}"
+        )
+    main_mask = (1 << main_ways) - 1
+    neighbour_mask = ((1 << cat.n_ways) - 1) & ~main_mask
+    cat.define_clos(1, main_mask)
+    cat.define_clos(2, neighbour_mask)
+    cat.assign_core(main_core, 1)
+    for core in neighbour_cores:
+        cat.assign_core(core, 2)
+
+
+@dataclass
+class SliceIsolationPlan:
+    """Placement produced by :func:`plan_slice_isolation`."""
+
+    main_slice: int
+    main_buffer: ScatteredBuffer
+    neighbour_buffer: ScatteredBuffer
+
+
+def plan_slice_isolation(
+    context: SliceAwareContext,
+    main_core: int,
+    main_bytes: int,
+    neighbour_bytes: int,
+) -> SliceIsolationPlan:
+    """Allocate isolated working sets: main app in one slice, noisy
+    neighbour everywhere else.
+
+    The main application receives memory mapping only to its preferred
+    slice; the neighbour receives memory spread round-robin over every
+    *other* slice, so it cannot evict the main application's lines no
+    matter how aggressively it streams.
+    """
+    main_slice = context.preferred_slice(main_core)
+    other_slices: List[int] = [
+        s for s in range(context.hash.n_slices) if s != main_slice
+    ]
+    main_buffer = context.allocate_slice_aware(main_bytes, slice_indices=[main_slice])
+    neighbour_buffer = context.allocate_slice_aware(
+        neighbour_bytes, slice_indices=other_slices
+    )
+    return SliceIsolationPlan(
+        main_slice=main_slice,
+        main_buffer=main_buffer,
+        neighbour_buffer=neighbour_buffer,
+    )

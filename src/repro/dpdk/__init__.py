@@ -1,0 +1,38 @@
+"""A DPDK-like user-space packet I/O substrate.
+
+CacheDirector is ~200 lines of headroom arithmetic inside DPDK's
+buffer management; this package rebuilds the DPDK structures it lives
+in, sized and laid out like the originals (§4.1):
+
+* :mod:`repro.dpdk.mbuf` — packet buffers: a two-cache-line metadata
+  struct, a (dynamic) headroom and a data room.
+* :mod:`repro.dpdk.mempool` — fixed-size element pools carved out of
+  hugepages, with LIFO per-pool caches.
+* :mod:`repro.dpdk.ring` — power-of-two circular queues.
+* :mod:`repro.dpdk.steering` — RSS hashing and FlowDirector exact-match
+  steering of flows to RX queues.
+* :mod:`repro.dpdk.nic` — the NIC model: DMA through DDIO into the
+  LLC, RX descriptor rings, CacheDirector hook on the RX path.
+* :mod:`repro.dpdk.pmd` — the poll-mode driver whose per-packet cache
+  accesses are charged to the polling core.
+"""
+
+from repro.dpdk.mbuf import Mbuf, MBUF_STRUCT_SIZE
+from repro.dpdk.mempool import Mempool
+from repro.dpdk.nic import Nic, NicStats
+from repro.dpdk.pmd import PollModeDriver
+from repro.dpdk.ring import Ring
+from repro.dpdk.steering import FlowDirectorSteering, RssSteering, rss_hash
+
+__all__ = [
+    "FlowDirectorSteering",
+    "MBUF_STRUCT_SIZE",
+    "Mbuf",
+    "Mempool",
+    "Nic",
+    "NicStats",
+    "PollModeDriver",
+    "Ring",
+    "RssSteering",
+    "rss_hash",
+]

@@ -1,0 +1,137 @@
+"""Fixed-size mbuf pools (``rte_mempool`` + ``rte_pktmbuf_pool``).
+
+A mempool carves ``n_mbufs`` equal elements out of hugepage-backed
+memory; each element is one mbuf struct plus its buffer region.  Frees
+push onto a LIFO stack (mirroring DPDK's per-lcore object cache, which
+re-uses the most recently freed — and therefore warmest — element
+first).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dpdk.mbuf import (
+    DEFAULT_DATAROOM,
+    DEFAULT_HEADROOM,
+    MBUF_STRUCT_SIZE,
+    Mbuf,
+)
+from repro.mem.address import CACHE_LINE, align_up
+from repro.mem.allocator import ContiguousAllocator
+
+
+class MempoolEmptyError(RuntimeError):
+    """Raised on allocation from an exhausted pool (rx drop territory)."""
+
+
+class Mempool:
+    """A pool of pre-initialised mbufs.
+
+    Args:
+        name: diagnostic label.
+        allocator: contiguous allocator over a hugepage.
+        n_mbufs: number of elements.
+        data_room: bytes of buffer region after the default headroom;
+            CacheDirector deployments must provision
+            ``director.max_headroom - DEFAULT_HEADROOM`` extra bytes so
+            the dynamic headroom never starves the data area (§4.2).
+        default_headroom: initial headroom of fresh mbufs.
+        phys_base_override: explicit physical base used in tests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        allocator: ContiguousAllocator,
+        n_mbufs: int,
+        data_room: int = DEFAULT_DATAROOM,
+        default_headroom: int = DEFAULT_HEADROOM,
+    ) -> None:
+        if n_mbufs <= 0:
+            raise ValueError(f"n_mbufs must be positive, got {n_mbufs}")
+        self.name = name
+        self.data_room = data_room
+        self.default_headroom = default_headroom
+        buf_len = default_headroom + data_room
+        element_size = align_up(MBUF_STRUCT_SIZE + buf_len, CACHE_LINE)
+        virt_base = allocator.allocate(element_size * n_mbufs, align=CACHE_LINE)
+        phys_base = allocator.buffer.virt_to_phys(virt_base)
+        self.element_size = element_size
+        self.mbufs: List[Mbuf] = [
+            Mbuf(
+                pool=self,
+                index=i,
+                base_phys=phys_base + i * element_size,
+                buf_len=buf_len,
+                default_headroom=default_headroom,
+            )
+            for i in range(n_mbufs)
+        ]
+        # LIFO free stack, warmest element on top.
+        self._free: List[Mbuf] = list(reversed(self.mbufs))
+        self.alloc_failures = 0
+
+    @property
+    def capacity(self) -> int:
+        """Total number of elements."""
+        return len(self.mbufs)
+
+    @property
+    def available(self) -> int:
+        """Elements currently free."""
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        """Elements currently allocated."""
+        return self.capacity - self.available
+
+    def alloc(self) -> Mbuf:
+        """Pop one mbuf, reset to defaults.
+
+        Raises:
+            MempoolEmptyError: when the pool is exhausted.
+        """
+        if not self._free:
+            self.alloc_failures += 1
+            raise MempoolEmptyError(f"mempool {self.name!r} exhausted")
+        mbuf = self._free.pop()
+        mbuf.reset()
+        return mbuf
+
+    def try_alloc(self) -> Optional[Mbuf]:
+        """Pop one mbuf or return ``None`` when exhausted."""
+        if not self._free:
+            self.alloc_failures += 1
+            return None
+        mbuf = self._free.pop()
+        mbuf.reset()
+        return mbuf
+
+    def free(self, mbuf: Mbuf) -> None:
+        """Return an mbuf (and its whole chain) to the pool."""
+        for segment in list(mbuf.segments()):
+            if segment.pool is not self:
+                raise ValueError(
+                    f"mbuf {segment.index} does not belong to pool {self.name!r}"
+                )
+            segment.next = None
+            self._free.append(segment)
+        if len(self._free) > self.capacity:
+            raise RuntimeError(f"double free detected in pool {self.name!r}")
+
+    def alloc_bulk(self, count: int) -> List[Mbuf]:
+        """Pop *count* mbufs; all-or-nothing like ``rte_pktmbuf_alloc_bulk``."""
+        if count > self.available:
+            self.alloc_failures += 1
+            raise MempoolEmptyError(
+                f"mempool {self.name!r}: wanted {count}, have {self.available}"
+            )
+        return [self.alloc() for _ in range(count)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Mempool(name={self.name!r}, capacity={self.capacity}, "
+            f"available={self.available}, data_room={self.data_room})"
+        )

@@ -1,0 +1,120 @@
+"""Application-level mbuf sorting — the paper's alternative design.
+
+§4.2: "an application can allocate one large mempool containing mbufs.
+Then, it can sort mbufs across multiple mempools, each of which is
+dedicated to one CPU core, based on their LLC slice mappings" — the
+FastClick-level alternative to driver-level dynamic headroom.  The
+headroom stays fixed; instead, each core's RX queue is refilled only
+with mbufs whose (fixed-headroom) data start already maps to that
+core's slice, which also "eliminates the memory wastage" of
+provisioning every mbuf for the worst-case dynamic headroom.
+
+:func:`sort_mbufs_by_slice` performs the sort;
+:class:`PerCorePools` is the resulting pool-per-core façade that a
+NIC/driver can allocate RX buffers from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cachesim.hashfn import SliceHash
+from repro.dpdk.mbuf import Mbuf
+from repro.dpdk.mempool import Mempool, MempoolEmptyError
+
+
+def slice_of_mbuf(mbuf: Mbuf, slice_hash: SliceHash) -> int:
+    """Slice of the mbuf's first data line at its *current* headroom."""
+    return slice_hash.slice_of(mbuf.data_phys)
+
+
+def sort_mbufs_by_slice(
+    pool: Mempool, slice_hash: SliceHash
+) -> Dict[int, List[Mbuf]]:
+    """Classify every mbuf of *pool* by the slice its data start maps to.
+
+    The pool's elements are drained (allocated) and grouped; callers
+    hand the groups to :class:`PerCorePools`.  With the XOR hash and
+    line-aligned element strides the groups are near-balanced.
+    """
+    groups: Dict[int, List[Mbuf]] = {s: [] for s in range(slice_hash.n_slices)}
+    drained: List[Mbuf] = []
+    while True:
+        mbuf = pool.try_alloc()
+        if mbuf is None:
+            break
+        drained.append(mbuf)
+    for mbuf in drained:
+        groups[slice_of_mbuf(mbuf, slice_hash)].append(mbuf)
+    return groups
+
+
+@dataclass
+class PerCorePools:
+    """Per-core free lists of slice-matched mbufs.
+
+    Args:
+        core_to_slice: preferred slice per core.
+        groups: slice → mbufs mapping from :func:`sort_mbufs_by_slice`.
+        fallback: mbufs whose slice matches no core's preference (on
+            machines with more slices than cores) — used when a core's
+            matched list runs dry rather than dropping the packet.
+    """
+
+    core_to_slice: Sequence[int]
+    groups: Dict[int, List[Mbuf]]
+    fallback: List[Mbuf] = field(default_factory=list)
+    fallback_allocations: int = 0
+
+    def __post_init__(self) -> None:
+        # Each slice's group belongs to the first core preferring it;
+        # unclaimed groups feed the fallback list.
+        self._free: Dict[int, List[Mbuf]] = {
+            core: [] for core in range(len(self.core_to_slice))
+        }
+        claimed: Dict[int, int] = {}
+        for core, target in enumerate(self.core_to_slice):
+            if target not in claimed:
+                claimed[target] = core
+                self._free[core] = list(self.groups.get(target, ()))
+        for slice_index, mbufs in self.groups.items():
+            if slice_index not in claimed:
+                self.fallback.extend(mbufs)
+
+    def available(self, core: int) -> int:
+        """Slice-matched mbufs currently free for *core*."""
+        return len(self._free[core])
+
+    def alloc(self, core: int) -> Mbuf:
+        """Allocate an mbuf whose data line maps to *core*'s slice.
+
+        Falls back to unmatched mbufs when the matched list is empty
+        (losing the placement benefit for that packet, not the packet).
+        """
+        free = self._free[core]
+        if free:
+            mbuf = free.pop()
+            mbuf.reset()
+            return mbuf
+        if self.fallback:
+            self.fallback_allocations += 1
+            mbuf = self.fallback.pop()
+            mbuf.reset()
+            return mbuf
+        raise MempoolEmptyError(f"per-core pool for core {core} exhausted")
+
+    def free(self, mbuf: Mbuf, slice_hash: SliceHash) -> None:
+        """Return an mbuf to the list matching its data line's slice."""
+        for segment in list(mbuf.segments()):
+            segment.next = None
+            target = slice_of_mbuf(segment, slice_hash)
+            owner: Optional[int] = None
+            for core, preferred in enumerate(self.core_to_slice):
+                if preferred == target:
+                    owner = core
+                    break
+            if owner is None:
+                self.fallback.append(segment)
+            else:
+                self._free[owner].append(segment)

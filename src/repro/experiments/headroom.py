@@ -1,0 +1,65 @@
+"""§4.2 — the dynamic-headroom distribution experiment.
+
+The paper streamed ~12.3 M campus-trace packets through CacheDirector
+and measured the distribution of chosen headroom sizes: median 256 B,
+95 % below 512 B, maximum 832 B — the number that sized the default
+mbuf headroom.  With the XOR hash the dynamic displacement is bounded
+by 7 lines past the base headroom, so the distribution is bounded by
+construction; this experiment reproduces the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dpdk.steering import RssSteering
+from repro.net.chain import DutConfig, DutEnvironment, simple_forwarding_chain
+from repro.net.trace import CampusTraceGenerator
+
+
+@dataclass
+class HeadroomDistribution:
+    """Summary of the chosen headroom sizes."""
+
+    count: int
+    median: int
+    p95: int
+    max: int
+
+
+def run_headroom_experiment(
+    n_packets: int = 20_000,
+    n_cores: int = 8,
+    seed: int = 0,
+) -> HeadroomDistribution:
+    """Stream campus traffic through CacheDirector, collect headrooms."""
+    env = DutEnvironment(
+        DutConfig(cache_director=True, n_cores=n_cores, seed=seed),
+        simple_forwarding_chain,
+    )
+    generator = CampusTraceGenerator(seed=seed + 1)
+    steering = RssSteering(n_cores)
+    packets = generator.generate(n_packets, rate_pps=4e6)
+    for packet in packets:
+        env.process_packet(packet, steering.queue_for(packet.flow_key))
+    assert env.cache_director is not None
+    summary = env.cache_director.stats.summary()
+    return HeadroomDistribution(
+        count=summary["count"],
+        median=summary["median"],
+        p95=summary["p95"],
+        max=summary["max"],
+    )
+
+
+def format_headroom(result: HeadroomDistribution) -> str:
+    """Render the §4.2 statistics next to the paper's."""
+    return "\n".join(
+        [
+            "Sec. 4.2 — dynamic headroom distribution (CacheDirector)",
+            f"packets: {result.count}",
+            f"median headroom: {result.median} B   (paper: 256 B)",
+            f"95th percentile: {result.p95} B   (paper: <512 B)",
+            f"maximum:         {result.max} B   (paper: 832 B)",
+        ]
+    )

@@ -1,0 +1,208 @@
+"""Shared machinery for the NFV latency experiments (Figs. 12–15, Table 3).
+
+One experiment = one (chain, steering, load, CacheDirector?) point:
+
+1. microsimulate a packet sample through the full DuT to get the
+   service-time distribution,
+2. steer a bulk arrival stream to RX queues,
+3. run the finite-buffer queueing model,
+4. summarise with the paper's percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dpdk.steering import FlowDirectorSteering, RssSteering
+from repro.net.chain import (
+    DutConfig,
+    DutEnvironment,
+    ServiceChain,
+    router_napt_lb_chain,
+    simple_forwarding_chain,
+)
+from repro.net.harness import (
+    LatencyRunResult,
+    NicModel,
+    bootstrap_service_ns,
+    sample_service_distribution,
+    simulate_queueing_latency,
+)
+from repro.net.trace import CampusTraceGenerator
+from repro.stats.percentiles import LatencySummary, median_of_runs, summarize_latencies
+
+ChainFactory = Callable[[], ServiceChain]
+
+
+def make_steering(kind: str, n_queues: int):
+    """Instantiate a steering policy by name (``rss``/``flow-director``)."""
+    if kind == "rss":
+        return RssSteering(n_queues)
+    if kind == "flow-director":
+        return FlowDirectorSteering(n_queues)
+    raise ValueError(f"unknown steering {kind!r}")
+
+
+@dataclass
+class NfvExperimentResult:
+    """Latency + throughput of one configuration (median over runs)."""
+
+    summary: LatencySummary
+    achieved_gbps: float
+    offered_gbps: float
+    drop_fraction: float
+    mean_service_ns: float
+    latencies_us: np.ndarray  # one representative run (for CDFs)
+    run_summaries: List[LatencySummary] = None  # per-run (for quartile bars)
+
+
+def measure_service_times(
+    chain_factory: ChainFactory,
+    cache_director: bool,
+    steering_kind: str,
+    generator: CampusTraceGenerator,
+    micro_packets: int = 4000,
+    n_cores: int = 8,
+    seed: int = 0,
+) -> np.ndarray:
+    """Cache-simulate a packet sample; returns service times (ns)."""
+    env = DutEnvironment(
+        DutConfig(cache_director=cache_director, n_cores=n_cores, seed=seed),
+        chain_factory,
+    )
+    steering = make_steering(steering_kind, n_cores)
+    packets = generator.generate(micro_packets, rate_pps=4e6, seed_offset=seed)
+    queues = [steering.queue_for(p.flow_key) for p in packets]
+    return sample_service_distribution(env, packets, queues)
+
+
+def run_nfv_experiment(
+    chain_factory: ChainFactory,
+    cache_director: bool,
+    steering_kind: str,
+    offered_gbps: float,
+    n_bulk_packets: int = 300_000,
+    micro_packets: int = 4000,
+    n_cores: int = 8,
+    runs: int = 3,
+    ring_capacity: int = 1024,
+    nic: Optional[NicModel] = None,
+    seed: int = 0,
+) -> NfvExperimentResult:
+    """Full pipeline for one configuration; medians over *runs*."""
+    generator = CampusTraceGenerator(seed=seed + 1)
+    service_samples = measure_service_times(
+        chain_factory,
+        cache_director,
+        steering_kind,
+        generator,
+        micro_packets=micro_packets,
+        n_cores=n_cores,
+        seed=seed,
+    )
+    flow_keys = [tuple(f) for f in generator.flows]
+    summaries: List[LatencySummary] = []
+    achieved: List[float] = []
+    offered: List[float] = []
+    drops: List[float] = []
+    last_run: Optional[LatencyRunResult] = None
+    for run_index in range(runs):
+        rng = np.random.default_rng(seed + 100 + run_index)
+        sizes, flows, arrivals = generator.generate_arrays(
+            n_bulk_packets, rate_gbps=offered_gbps, seed_offset=run_index
+        )
+        steering = make_steering(steering_kind, n_cores)
+        flow_to_queue = {
+            i: steering.queue_for(flow_keys[i]) for i in range(len(flow_keys))
+        }
+        queues = np.array([flow_to_queue[int(f)] for f in flows])
+        service = bootstrap_service_ns(service_samples, len(sizes), rng)
+        result = simulate_queueing_latency(
+            arrivals,
+            sizes,
+            queues,
+            service,
+            n_queues=n_cores,
+            nic=nic,
+            ring_capacity=ring_capacity,
+        )
+        summaries.append(result.summary)
+        achieved.append(result.achieved_gbps)
+        offered.append(result.offered_gbps)
+        drops.append(result.drop_fraction)
+        last_run = result
+    assert last_run is not None
+    return NfvExperimentResult(
+        summary=median_of_runs(summaries),
+        achieved_gbps=float(np.median(achieved)),
+        offered_gbps=float(np.median(offered)),
+        drop_fraction=float(np.median(drops)),
+        mean_service_ns=float(service_samples.mean()),
+        latencies_us=last_run.latencies_us,
+        run_summaries=summaries,
+    )
+
+
+def compare_cache_director(
+    chain_factory: ChainFactory,
+    steering_kind: str,
+    offered_gbps: float,
+    **kwargs,
+) -> Dict[str, NfvExperimentResult]:
+    """Run DPDK vs DPDK+CacheDirector for one configuration."""
+    return {
+        "dpdk": run_nfv_experiment(
+            chain_factory, False, steering_kind, offered_gbps, **kwargs
+        ),
+        "cachedirector": run_nfv_experiment(
+            chain_factory, True, steering_kind, offered_gbps, **kwargs
+        ),
+    }
+
+
+def format_comparison(
+    results: Dict[str, NfvExperimentResult], title: str
+) -> str:
+    """Render a DPDK vs CacheDirector percentile table + improvements."""
+    base = results["dpdk"]
+    cd = results["cachedirector"]
+    out = [title]
+    out.append("          |    75th |    90th |    95th |    99th |    mean")
+    for name, res in (("DPDK", base), ("DPDK+CD", cd)):
+        s = res.summary
+        out.append(
+            f"{name:<9} | {s[75]:>7.1f} | {s[90]:>7.1f} | {s[95]:>7.1f} "
+            f"| {s[99]:>7.1f} | {s.mean:>7.1f}  (us)"
+        )
+    imp = cd.summary.improvement_over(base.summary)
+    out.append(
+        "improve   | "
+        + " | ".join(
+            f"{imp[f'p{q}_abs']:>7.2f}" for q in (75, 90, 95, 99)
+        )
+        + f" | {imp['mean_abs']:>7.2f}  (us)"
+    )
+    out.append(
+        "          | "
+        + " | ".join(
+            f"{imp[f'p{q}_rel'] * 100:>6.2f}%" for q in (75, 90, 95, 99)
+        )
+        + f" | {imp['mean_rel'] * 100:>6.2f}%"
+    )
+    out.append(
+        f"throughput: {base.achieved_gbps:.2f} -> {cd.achieved_gbps:.2f} Gbps "
+        f"(+{(cd.achieved_gbps - base.achieved_gbps) * 1e3:.0f} Mbps); "
+        f"drops {base.drop_fraction:.1%} -> {cd.drop_fraction:.1%}"
+    )
+    if base.run_summaries and len(base.run_summaries) > 1:
+        from repro.stats.percentiles import quartiles_of_runs
+
+        q1, median, q3 = quartiles_of_runs(base.run_summaries, 99.0)
+        out.append(
+            f"p99 across runs (DPDK): median {median:.1f} us, "
+            f"quartiles [{q1:.1f}, {q3:.1f}] (the paper's error bars)"
+        )
+    return "\n".join(out)

@@ -1,0 +1,24 @@
+"""Emulated DPDK key-value store (§3.1, Fig. 8).
+
+* :mod:`repro.kvs.workload` — MICA-style Zipf(0.99) and uniform key
+  generators over 2^24 keys, and GET/SET operation mixes.
+* :mod:`repro.kvs.store` — the value array (slice-aware or normal
+  placement) and the direct-indexed bucket array.
+* :mod:`repro.kvs.server` — the single-core request loop: packets in
+  via DDIO, index probe, value access, response out — with full cycle
+  accounting on the cache simulator.
+"""
+
+from repro.kvs.server import KvsServer, KvsWorkloadResult
+from repro.kvs.store import KvsStore, SliceLocalArray
+from repro.kvs.workload import GetSetMix, UniformKeys, ZipfKeys
+
+__all__ = [
+    "GetSetMix",
+    "KvsServer",
+    "KvsStore",
+    "KvsWorkloadResult",
+    "SliceLocalArray",
+    "UniformKeys",
+    "ZipfKeys",
+]

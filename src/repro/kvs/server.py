@@ -1,0 +1,147 @@
+"""The emulated KVS request loop (§3.1).
+
+One core serves GET/SET requests arriving as 128 B TCP packets at high
+rate through the DPDK-like I/O path: the NIC DMA-writes each request
+into a rotating RX buffer via DDIO, the core parses it, probes the
+index, touches the value line (read for GET, write for SET), writes
+the response header and the NIC DMA-reads it back out.  Every memory
+touch runs on the cache simulator, so the reported cycles-per-request
+— and hence transactions per second — reflect placement policy,
+slice distance, DDIO churn and capacity effects together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cachesim.ddio import DdioEngine
+from repro.core.slice_aware import SliceAwareContext
+from repro.kvs.store import KvsStore
+from repro.mem.address import CACHE_LINE
+
+#: The paper's request packets: 128 B TCP.
+REQUEST_BYTES = 128
+
+#: Response: header + 64 B value.
+RESPONSE_BYTES = 64 + 64
+
+
+@dataclass
+class KvsWorkloadResult:
+    """Outcome of one KVS measurement run."""
+
+    requests: int
+    total_cycles: int
+    freq_ghz: float
+
+    @property
+    def cycles_per_request(self) -> float:
+        """Average request cost in cycles (the paper's ~160 vs ~194)."""
+        return self.total_cycles / self.requests
+
+    @property
+    def tps_millions(self) -> float:
+        """Transactions per second, in millions (Fig. 8's y-axis)."""
+        return self.freq_ghz * 1e9 / self.cycles_per_request / 1e6
+
+
+class KvsServer:
+    """Single-core KVS server over simulated DPDK I/O.
+
+    Args:
+        context: machine context.
+        store: index/value layout (normal or slice-aware).
+        core: serving core.
+        rx_buffers: rotating RX buffer count (models the mbuf ring).
+        fixed_cost: per-request instruction cost (parse, hash, respond)
+            outside the measured memory accesses.
+    """
+
+    def __init__(
+        self,
+        context: SliceAwareContext,
+        store: KvsStore,
+        core: int = 0,
+        rx_buffers: int = 1024,
+        fixed_cost: int = 30,
+    ) -> None:
+        if rx_buffers <= 0:
+            raise ValueError(f"rx_buffers must be positive, got {rx_buffers}")
+        self.context = context
+        self.store = store
+        self.core = core
+        self.fixed_cost = fixed_cost
+        self.hierarchy = context.hierarchy
+        self.ddio = DdioEngine(self.hierarchy)
+        buf = context.allocate_normal(rx_buffers * REQUEST_BYTES)
+        self._rx_buffers = [
+            buf.address_of(i * REQUEST_BYTES) for i in range(rx_buffers)
+        ]
+        self._next_buffer = 0
+        self.requests_served = 0
+
+    def serve_one(self, key: int, is_get: bool) -> int:
+        """Serve one request; returns cycles spent by the core."""
+        hierarchy = self.hierarchy
+        core = self.core
+        # Request arrives: NIC DMA-writes 128 B into the next RX buffer.
+        rx = self._rx_buffers[self._next_buffer]
+        self._next_buffer = (self._next_buffer + 1) % len(self._rx_buffers)
+        self.ddio.dma_write(rx, REQUEST_BYTES)
+        cycles = self.fixed_cost
+        # Core parses the request (two lines of the 128 B packet).
+        cycles += hierarchy.read(core, rx, REQUEST_BYTES)
+        # Index probe.
+        cycles += hierarchy.read(core, self.store.index_address(key), 1)
+        # Value access (multi-line values touch every line, §8).
+        if self.store.lines_per_value == 1:
+            value_line = self.store.value_address(key)
+            if is_get:
+                cycles += hierarchy.read(core, value_line, 1)
+            else:
+                cycles += hierarchy.write(core, value_line, 1)
+        else:
+            for value_line in self.store.value_addresses(key):
+                if is_get:
+                    cycles += hierarchy.read(core, value_line, 1)
+                else:
+                    cycles += hierarchy.write(core, value_line, 1)
+        # Response header write into the RX buffer, then TX DMA.
+        cycles += hierarchy.write(core, rx, 1)
+        self.ddio.dma_read(rx, RESPONSE_BYTES)
+        self.requests_served += 1
+        return cycles
+
+    def run(
+        self,
+        keys: Sequence[int],
+        is_get: Sequence[bool],
+        warmup: int = 0,
+    ) -> KvsWorkloadResult:
+        """Serve a request stream; returns aggregate statistics.
+
+        Args:
+            keys: request keys.
+            is_get: per-request GET flag (same length as *keys*).
+            warmup: leading requests excluded from the measurement
+                (cold-cache transient).
+        """
+        if len(keys) != len(is_get):
+            raise ValueError("keys and is_get must have equal length")
+        if warmup >= len(keys):
+            raise ValueError("warmup must leave requests to measure")
+        total = 0
+        for i in range(warmup):
+            self.serve_one(int(keys[i]), bool(is_get[i]))
+        measured = 0
+        for i in range(warmup, len(keys)):
+            total += self.serve_one(int(keys[i]), bool(is_get[i]))
+            measured += 1
+        return KvsWorkloadResult(
+            requests=measured,
+            total_cycles=total,
+            freq_ghz=self.context.spec.freq_ghz,
+        )

@@ -1,0 +1,82 @@
+"""O(1)-addressable arrays of cache lines confined to one LLC slice.
+
+With the published XOR hash, every aligned block of ``n_slices`` lines
+contains exactly one line per slice, so the *k*-th slice-local line of
+a region lives inside block *k* — no scanning or free lists needed.
+This is the workhorse behind large slice-aware arrays (the KVS value
+store, the Fig. 6/7 micro-benchmarks): the cost is an ``n_slices``-fold
+larger physical address span, the "memory fragmentation" §7 mentions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cachesim.hashfn import SliceHash
+from repro.mem.address import CACHE_LINE
+
+
+class SliceLocalArray:
+    """O(1)-addressable array of cache lines in one LLC slice.
+
+    Args:
+        base_phys: physical base, aligned to the block size.
+        n_lines: number of slice-local lines (array capacity).
+        slice_hash: the machine's hash.
+        target_slice: slice every line must map to.
+        block_lines: lines per search block; with the XOR hash the
+            target always appears within ``n_slices`` lines, other
+            hashes may need more (a LookupError reports exhaustion).
+    """
+
+    def __init__(
+        self,
+        base_phys: int,
+        n_lines: int,
+        slice_hash: SliceHash,
+        target_slice: int,
+        block_lines: Optional[int] = None,
+    ) -> None:
+        if n_lines <= 0:
+            raise ValueError(f"n_lines must be positive, got {n_lines}")
+        self.hash = slice_hash
+        self.target_slice = target_slice
+        self.block_lines = (
+            block_lines if block_lines is not None else 2 * slice_hash.n_slices
+        )
+        self.block_bytes = self.block_lines * CACHE_LINE
+        if base_phys % CACHE_LINE:
+            raise ValueError(f"base {base_phys:#x} must be line-aligned")
+        # Blocks must align with the hash's own block grid (anchored at
+        # address 0 for both hash families): an unaligned probe window
+        # can straddle two hash blocks and miss the target slice.
+        remainder = base_phys % self.block_bytes
+        self.base_phys = base_phys + (self.block_bytes - remainder if remainder else 0)
+        self.n_lines = n_lines
+        self._offset_memo: Dict[int, int] = {}
+
+    @property
+    def span_bytes(self) -> int:
+        """Physical address span the array occupies."""
+        return self.n_lines * self.block_bytes
+
+    def line_address(self, index: int) -> int:
+        """Physical address of the *index*-th slice-local line."""
+        if not 0 <= index < self.n_lines:
+            raise IndexError(f"index {index} outside array of {self.n_lines}")
+        offset = self._offset_memo.get(index)
+        block_base = self.base_phys + index * self.block_bytes
+        if offset is None:
+            offset = self._probe(block_base)
+            self._offset_memo[index] = offset
+        return block_base + offset * CACHE_LINE
+
+    def _probe(self, block_base: int) -> int:
+        slice_of = self.hash.slice_of
+        for off in range(self.block_lines):
+            if slice_of(block_base + off * CACHE_LINE) == self.target_slice:
+                return off
+        raise LookupError(
+            f"no line of slice {self.target_slice} within "
+            f"{self.block_lines} lines of {block_base:#x}"
+        )

@@ -1,0 +1,193 @@
+"""Service chains and the Device-under-Test environment.
+
+:class:`ServiceChain` strings network functions together;
+:class:`DutEnvironment` assembles a complete device under test — the
+simulated machine, hugepages, mempool, DDIO, NIC (optionally with
+CacheDirector), poll-mode driver and chain — and processes packets
+end to end, returning the cycles the polling core spent per packet.
+This is the microsimulation that feeds the latency harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cachesim.ddio import DdioEngine
+from repro.cachesim.machines import HASWELL_E5_2667V3, MachineSpec
+from repro.core.cache_director import CacheDirector
+from repro.core.slice_aware import SliceAwareContext
+from repro.dpdk.mbuf import DEFAULT_DATAROOM, DEFAULT_HEADROOM, Mbuf
+from repro.dpdk.mempool import Mempool
+from repro.dpdk.nic import Nic
+from repro.dpdk.pmd import PollModeDriver
+from repro.net.nf import (
+    LpmRouter,
+    MacSwapForwarder,
+    Napt,
+    NetworkFunction,
+    RoundRobinLoadBalancer,
+)
+from repro.net.packet import Packet
+
+
+class ServiceChain:
+    """An ordered pipeline of network functions.
+
+    Args:
+        name: chain label.
+        nfs: the pipeline stages, in order.
+        framework_cycles: fixed per-packet cost of the surrounding
+            framework (FastClick element traversal, batching, Metron
+            runtime).  The cache simulator only accounts for the NFs'
+            memory behaviour; this constant calibrates total
+            per-packet cost to the per-core rates implied by the
+            paper's Table 3 throughputs (~1 800 cycles/packet at
+            3.2 GHz and ~76 Gbps over 8 cores).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nfs: Sequence[NetworkFunction],
+        framework_cycles: int = 0,
+    ) -> None:
+        if not nfs:
+            raise ValueError("a chain needs at least one NF")
+        if framework_cycles < 0:
+            raise ValueError("framework_cycles must be non-negative")
+        self.name = name
+        self.nfs: List[NetworkFunction] = list(nfs)
+        self.framework_cycles = framework_cycles
+        self.packets_processed = 0
+
+    def setup(self, context: SliceAwareContext) -> None:
+        """Allocate every NF's state."""
+        for nf in self.nfs:
+            nf.setup(context)
+
+    def process(self, core: int, mbuf: Mbuf) -> int:
+        """Run one packet through every NF; returns total cycles."""
+        cycles = self.framework_cycles
+        for nf in self.nfs:
+            cycles += nf.process(core, mbuf)
+        self.packets_processed += 1
+        return cycles
+
+
+def simple_forwarding_chain() -> ServiceChain:
+    """The §5.1 application: MAC swap and bounce."""
+    return ServiceChain(
+        "simple-forwarding", [MacSwapForwarder()], framework_cycles=1600
+    )
+
+
+def router_napt_lb_chain(hw_offload: bool = True) -> ServiceChain:
+    """The §5.2 stateful chain: Router → NAPT → LB.
+
+    ``hw_offload`` mirrors Metron's FlowDirector offload of the routing
+    table classification to the NIC.
+    """
+    return ServiceChain(
+        "router-napt-lb",
+        [
+            LpmRouter(n_routes=3120, hw_offload=hw_offload),
+            Napt(),
+            RoundRobinLoadBalancer(),
+        ],
+        framework_cycles=1270,
+    )
+
+
+@dataclass
+class DutConfig:
+    """Configuration of a device under test."""
+
+    spec: MachineSpec = HASWELL_E5_2667V3
+    n_cores: int = 8
+    cache_director: bool = False
+    n_mbufs: int = 4096
+    rx_ring_size: int = 1024
+    data_room: int = DEFAULT_DATAROOM
+    ddio_enabled: bool = True
+    seed: int = 0
+
+
+class DutEnvironment:
+    """A fully wired device under test.
+
+    Args:
+        config: hardware/software configuration.
+        chain_factory: builds the service chain to run.
+    """
+
+    def __init__(
+        self,
+        config: DutConfig,
+        chain_factory: Callable[[], ServiceChain] = simple_forwarding_chain,
+    ) -> None:
+        self.config = config
+        self.context = SliceAwareContext(config.spec, seed=config.seed)
+        hierarchy = self.context.hierarchy
+        self.hierarchy = hierarchy
+        self.ddio = DdioEngine(hierarchy, enabled=config.ddio_enabled)
+        director: Optional[CacheDirector] = None
+        data_room = config.data_room
+        if config.cache_director:
+            director = CacheDirector(
+                slice_hash=hierarchy.llc.hash,
+                core_to_slice=[
+                    self.context.preferred_slice(c) for c in range(config.n_cores)
+                ],
+            )
+            # Provision the data room for the worst-case dynamic
+            # headroom so chaining never triggers on MTU frames (§4.2).
+            data_room += director.max_headroom - DEFAULT_HEADROOM
+        self.cache_director = director
+        self.mempool = Mempool(
+            name="pktmbuf",
+            allocator=self.context.contiguous_allocator,
+            n_mbufs=config.n_mbufs,
+            data_room=data_room,
+        )
+        self.nic = Nic(
+            n_queues=config.n_cores,
+            mempool=self.mempool,
+            ddio=self.ddio,
+            allocator=self.context.contiguous_allocator,
+            queue_to_core=list(range(config.n_cores)),
+            cache_director=director,
+            rx_ring_size=config.rx_ring_size,
+        )
+        self.pmd = PollModeDriver(self.nic, hierarchy)
+        self.chain = chain_factory()
+        self.chain.setup(self.context)
+
+    def process_packet(self, packet: Packet, queue: int) -> Optional[int]:
+        """Deliver, poll, process and transmit one packet.
+
+        Returns the cycles the polling core spent, or ``None`` when the
+        packet was dropped at the NIC.
+        """
+        if self.nic.deliver(packet, packet.size, queue) is None:
+            return None
+        mbufs, cycles = self.pmd.rx_burst(queue, max_packets=1)
+        core = self.nic.queue_to_core[queue]
+        for mbuf in mbufs:
+            cycles += self.chain.process(core, mbuf)
+        cycles += self.pmd.tx_burst(queue, mbufs)
+        return cycles
+
+    def service_cycles(
+        self, packets: Sequence[Packet], queues: Sequence[int]
+    ) -> List[Optional[int]]:
+        """Microsimulate many packets; returns per-packet cycles."""
+        if len(packets) != len(queues):
+            raise ValueError("packets and queues must have equal length")
+        return [self.process_packet(p, q) for p, q in zip(packets, queues)]
+
+    def __repr__(self) -> str:
+        return (
+            f"DutEnvironment(chain={self.chain.name!r}, "
+            f"cache_director={self.config.cache_director})"
+        )

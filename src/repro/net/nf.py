@@ -1,0 +1,298 @@
+"""Network functions.
+
+Each NF performs its real control logic (so behaviour is testable) and
+issues the memory accesses that logic implies against the cache
+hierarchy, charged to the processing core.  The state tables are
+allocated with *normal* (contiguous) placement — CacheDirector only
+steers packet headers; state placement is the paper's future work.
+
+Implemented NFs, matching §5's applications:
+
+* :class:`MacSwapForwarder` — the simple forwarding application.
+* :class:`LpmRouter` — DIR-24-8 longest-prefix-match router with 3120
+  routes; with ``hw_offload=True`` the classification runs on the NIC
+  (Metron's FlowDirector offload) and only TTL work remains in
+  software.
+* :class:`Napt` — network address & port translation with a real
+  translation table.
+* :class:`RoundRobinLoadBalancer` — flow-sticky round-robin backend
+  selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cachesim.hierarchy import CacheHierarchy
+from repro.core.slice_aware import LinearBuffer, SliceAwareContext
+from repro.dpdk.mbuf import Mbuf
+from repro.dpdk.steering import rss_hash
+from repro.mem.address import CACHE_LINE
+from repro.net.packet import FiveTuple
+
+
+class NetworkFunction:
+    """Base class: one stage of a service chain."""
+
+    #: Fixed instruction cost per packet (cycles), excluding memory.
+    base_cost: int = 40
+    name: str = "nf"
+
+    def setup(self, context: SliceAwareContext) -> None:
+        """Allocate state; called once before processing."""
+        self.hierarchy: CacheHierarchy = context.hierarchy
+
+    def process(self, core: int, mbuf: Mbuf) -> int:
+        """Process one packet; returns cycles spent by *core*."""
+        raise NotImplementedError
+
+    def _touch_header(self, core: int, mbuf: Mbuf, write: bool = False) -> int:
+        """Access the packet's first (header) line."""
+        if write:
+            return self.hierarchy.write(core, mbuf.data_phys, 1)
+        return self.hierarchy.read(core, mbuf.data_phys, 1)
+
+
+class MacSwapForwarder(NetworkFunction):
+    """Swap source/destination MACs and bounce the frame back (§5.1)."""
+
+    name = "mac-swap"
+    base_cost = 30
+
+    def process(self, core: int, mbuf: Mbuf) -> int:
+        """Read the Ethernet header, swap MACs in place."""
+        cycles = self.base_cost
+        cycles += self._touch_header(core, mbuf)          # parse
+        cycles += self._touch_header(core, mbuf, True)    # swapped MACs
+        return cycles
+
+
+@dataclass(frozen=True)
+class Route:
+    """One LPM route."""
+
+    prefix: int
+    prefix_len: int
+    next_hop: int
+
+
+class LpmRouter(NetworkFunction):
+    """DIR-24-8 router with the paper's 3120-entry table (§5.2).
+
+    The first 24 address bits index ``tbl24``; routes longer than /24
+    chain into per-prefix ``tbl8`` blocks.  ``tbl24`` is a 32 MiB
+    region (2 B per entry over 2^24 indices); each lookup touches the
+    entry's cache line, and long-prefix hits touch one tbl8 line more.
+    """
+
+    name = "router"
+    base_cost = 50
+
+    def __init__(self, n_routes: int = 3120, hw_offload: bool = False, seed: int = 7) -> None:
+        self.n_routes = n_routes
+        self.hw_offload = hw_offload
+        self.seed = seed
+        self.routes: List[Route] = []
+        # tbl24: idx24 -> (is_tbl8, value); value is a next hop or a
+        # tbl8 block index.  tbl24_len remembers the prefix length that
+        # wrote each short entry so longest-prefix wins on overlap.
+        self._tbl24: Dict[int, Tuple[bool, int]] = {}
+        self._tbl24_len: Dict[int, int] = {}
+        # tbl8 blocks hold (next_hop, prefix_len) per /32 slot.
+        self._tbl8: List[List[Tuple[int, int]]] = []
+        self.lookups = 0
+        self.misses = 0
+
+    def setup(self, context: SliceAwareContext) -> None:
+        """Install *n_routes* synthetic routes and allocate the tables."""
+        super().setup(context)
+        self._tbl24_mem: LinearBuffer = context.allocate_normal(2 * (1 << 24))
+        self._tbl8_mem: LinearBuffer = context.allocate_normal(1 << 20)
+        rng = np.random.default_rng(self.seed)
+        lens = rng.choice([16, 20, 24, 32], size=self.n_routes, p=[0.05, 0.15, 0.75, 0.05])
+        for i in range(self.n_routes):
+            plen = int(lens[i])
+            prefix = int(rng.integers(0, 1 << 32)) & ((~0 << (32 - plen)) & 0xFFFFFFFF)
+            self.add_route(Route(prefix=prefix, prefix_len=plen, next_hop=i % 256))
+
+    def add_route(self, route: Route) -> None:
+        """Install one route into the DIR-24-8 structures."""
+        if not 0 < route.prefix_len <= 32:
+            raise ValueError(f"prefix length must be 1..32, got {route.prefix_len}")
+        if route.prefix & ~((~0 << (32 - route.prefix_len)) & 0xFFFFFFFF):
+            raise ValueError(
+                f"prefix {route.prefix:#x} has bits beyond /{route.prefix_len}"
+            )
+        self.routes.append(route)
+        if route.prefix_len <= 24:
+            first = route.prefix >> 8
+            for idx in range(first, first + (1 << (24 - route.prefix_len))):
+                entry = self._tbl24.get(idx)
+                if entry is not None and entry[0]:
+                    # A tbl8 block covers this /24: update the slots
+                    # whose current route is shorter.
+                    block = self._tbl8[entry[1]]
+                    for off in range(256):
+                        if block[off][1] <= route.prefix_len:
+                            block[off] = (route.next_hop, route.prefix_len)
+                elif self._tbl24_len.get(idx, 0) <= route.prefix_len:
+                    self._tbl24[idx] = (False, route.next_hop)
+                    self._tbl24_len[idx] = route.prefix_len
+        else:
+            idx24 = route.prefix >> 8
+            entry = self._tbl24.get(idx24)
+            if entry is None or not entry[0]:
+                default = (
+                    (entry[1], self._tbl24_len.get(idx24, 0))
+                    if entry is not None
+                    else (-1, 0)
+                )
+                self._tbl8.append([default] * 256)
+                entry = (True, len(self._tbl8) - 1)
+                self._tbl24[idx24] = entry
+            block = self._tbl8[entry[1]]
+            low = route.prefix & 0xFF
+            for off in range(low, low + (1 << (32 - route.prefix_len))):
+                if block[off][1] <= route.prefix_len:
+                    block[off] = (route.next_hop, route.prefix_len)
+
+    def lookup(self, dst_ip: int) -> Optional[int]:
+        """Pure control-plane LPM lookup (no cache accounting)."""
+        entry = self._tbl24.get(dst_ip >> 8)
+        if entry is None:
+            return None
+        is_tbl8, value = entry
+        if not is_tbl8:
+            return value
+        hop, _plen = self._tbl8[value][dst_ip & 0xFF]
+        return hop if hop >= 0 else None
+
+    def process(self, core: int, mbuf: Mbuf) -> int:
+        """Route one packet: header parse, table walk, TTL rewrite."""
+        cycles = self.base_cost
+        cycles += self._touch_header(core, mbuf)
+        flow: FiveTuple = mbuf.payload.flow  # type: ignore[union-attr]
+        self.lookups += 1
+        if not self.hw_offload:
+            idx24 = flow.dst_ip >> 8
+            cycles += self.hierarchy.read(
+                core, self._tbl24_mem.address_of((2 * idx24) & ~(CACHE_LINE - 1)), 1
+            )
+            entry = self._tbl24.get(idx24)
+            if entry is None:
+                self.misses += 1
+            elif entry[0]:
+                tbl8_offset = (entry[1] * 256 + (flow.dst_ip & 0xFF)) % self._tbl8_mem.size
+                cycles += self.hierarchy.read(
+                    core, self._tbl8_mem.address_of(tbl8_offset & ~(CACHE_LINE - 1)), 1
+                )
+        # Decrement TTL, refresh checksum: header write.
+        cycles += self._touch_header(core, mbuf, write=True)
+        return cycles
+
+
+class Napt(NetworkFunction):
+    """Network address & port translation (§5.2).
+
+    Keeps a real flow→(external port) table; each packet hashes its
+    flow into a bucket line of a 4 MiB table region and rewrites the
+    header.  New flows allocate an external port and write the bucket.
+    """
+
+    name = "napt"
+    base_cost = 60
+
+    def __init__(self, external_ip: int = 0xC612_0001, table_bits: int = 16) -> None:
+        self.external_ip = external_ip
+        self.table_bits = table_bits
+        self.translations: Dict[FiveTuple, int] = {}
+        self._next_port = 1024
+        self.reverse: Dict[int, FiveTuple] = {}
+
+    def setup(self, context: SliceAwareContext) -> None:
+        """Allocate the bucket array (64 B per bucket)."""
+        super().setup(context)
+        self._table_mem: LinearBuffer = context.allocate_normal(
+            CACHE_LINE << self.table_bits
+        )
+
+    def _bucket_address(self, flow: FiveTuple) -> int:
+        bucket = rss_hash(*flow) & ((1 << self.table_bits) - 1)
+        return self._table_mem.address_of(bucket * CACHE_LINE)
+
+    def translate(self, flow: FiveTuple) -> Tuple[int, int]:
+        """Control plane: external (ip, port) for a flow, allocating
+        a port on first sight."""
+        port = self.translations.get(flow)
+        if port is None:
+            if self._next_port > 65535:
+                raise RuntimeError("NAPT port pool exhausted")
+            port = self._next_port
+            self._next_port += 1
+            self.translations[flow] = port
+            self.reverse[port] = flow
+        return self.external_ip, port
+
+    def process(self, core: int, mbuf: Mbuf) -> int:
+        """Translate one packet: bucket probe, install on miss, rewrite."""
+        cycles = self.base_cost
+        cycles += self._touch_header(core, mbuf)
+        flow: FiveTuple = mbuf.payload.flow  # type: ignore[union-attr]
+        new_flow = flow not in self.translations
+        cycles += self.hierarchy.read(core, self._bucket_address(flow), 1)
+        self.translate(flow)
+        if new_flow:
+            cycles += self.hierarchy.write(core, self._bucket_address(flow), 1)
+        cycles += self._touch_header(core, mbuf, write=True)
+        return cycles
+
+
+class RoundRobinLoadBalancer(NetworkFunction):
+    """Flow-sticky round-robin load balancer (§5.2)."""
+
+    name = "lb"
+    base_cost = 50
+
+    def __init__(self, n_backends: int = 8, table_bits: int = 16) -> None:
+        if n_backends <= 0:
+            raise ValueError(f"n_backends must be positive, got {n_backends}")
+        self.n_backends = n_backends
+        self.table_bits = table_bits
+        self.assignments: Dict[FiveTuple, int] = {}
+        self._next_backend = 0
+
+    def setup(self, context: SliceAwareContext) -> None:
+        """Allocate the flow-table bucket array."""
+        super().setup(context)
+        self._table_mem: LinearBuffer = context.allocate_normal(
+            CACHE_LINE << self.table_bits
+        )
+
+    def _bucket_address(self, flow: FiveTuple) -> int:
+        bucket = rss_hash(*flow) & ((1 << self.table_bits) - 1)
+        return self._table_mem.address_of(bucket * CACHE_LINE)
+
+    def backend_for(self, flow: FiveTuple) -> int:
+        """Control plane: sticky round-robin backend choice."""
+        backend = self.assignments.get(flow)
+        if backend is None:
+            backend = self._next_backend
+            self._next_backend = (self._next_backend + 1) % self.n_backends
+            self.assignments[flow] = backend
+        return backend
+
+    def process(self, core: int, mbuf: Mbuf) -> int:
+        """Pick a backend, rewrite the destination."""
+        cycles = self.base_cost
+        cycles += self._touch_header(core, mbuf)
+        flow: FiveTuple = mbuf.payload.flow  # type: ignore[union-attr]
+        new_flow = flow not in self.assignments
+        cycles += self.hierarchy.read(core, self._bucket_address(flow), 1)
+        self.backend_for(flow)
+        if new_flow:
+            cycles += self.hierarchy.write(core, self._bucket_address(flow), 1)
+        cycles += self._touch_header(core, mbuf, write=True)
+        return cycles

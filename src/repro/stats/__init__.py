@@ -1,0 +1,18 @@
+"""Statistics helpers for the evaluation harness."""
+
+from repro.stats.fitting import PiecewiseFit, fit_piecewise_linear_quadratic
+from repro.stats.percentiles import (
+    LatencySummary,
+    cdf_points,
+    percentile,
+    summarize_latencies,
+)
+
+__all__ = [
+    "LatencySummary",
+    "PiecewiseFit",
+    "cdf_points",
+    "fit_piecewise_linear_quadratic",
+    "percentile",
+    "summarize_latencies",
+]

@@ -1,0 +1,143 @@
+"""Unit tests for the contiguous and slice-filtered allocators."""
+
+import pytest
+
+from repro.cachesim.hashfn import haswell_complex_hash
+from repro.mem.address import CACHE_LINE, PAGE_1G
+from repro.mem.allocator import (
+    AllocationError,
+    ContiguousAllocator,
+    ScatteredBuffer,
+    SliceFilteredAllocator,
+)
+from repro.mem.hugepage import PhysicalAddressSpace
+
+
+@pytest.fixture
+def buffer():
+    return PhysicalAddressSpace(seed=0).mmap_hugepage(PAGE_1G)
+
+
+class TestContiguousAllocator:
+    def test_sequential_allocations_do_not_overlap(self, buffer):
+        alloc = ContiguousAllocator(buffer)
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        assert b >= a + 100
+
+    def test_alignment(self, buffer):
+        alloc = ContiguousAllocator(buffer)
+        alloc.allocate(10)
+        b = alloc.allocate(10, align=4096)
+        assert b % 4096 == 0
+
+    def test_exhaustion(self, buffer):
+        alloc = ContiguousAllocator(buffer)
+        alloc.allocate(buffer.size - CACHE_LINE)
+        with pytest.raises(AllocationError):
+            alloc.allocate(2 * CACHE_LINE)
+
+    def test_bytes_free_decreases(self, buffer):
+        alloc = ContiguousAllocator(buffer)
+        before = alloc.bytes_free
+        alloc.allocate(1024)
+        assert alloc.bytes_free <= before - 1024
+
+    def test_invalid_size(self, buffer):
+        with pytest.raises(ValueError):
+            ContiguousAllocator(buffer).allocate(0)
+
+    def test_allocate_lines(self, buffer):
+        alloc = ContiguousAllocator(buffer)
+        lines = alloc.allocate_lines(4)
+        assert len(lines) == 4
+        assert all(b - a == CACHE_LINE for a, b in zip(lines, lines[1:]))
+
+
+class TestSliceFilteredAllocator:
+    def test_lines_map_to_requested_slice(self, buffer):
+        h = haswell_complex_hash(8)
+        alloc = SliceFilteredAllocator(buffer, h)
+        for target in range(8):
+            lines = alloc.allocate_lines(32, target)
+            assert all(h.slice_of(a) == target for a in lines)
+
+    def test_returned_addresses_are_physical(self, buffer):
+        h = haswell_complex_hash(8)
+        alloc = SliceFilteredAllocator(buffer, h)
+        lines = alloc.allocate_lines(8, 0)
+        assert all(buffer.phys <= a < buffer.phys + buffer.size for a in lines)
+
+    def test_no_line_allocated_twice(self, buffer):
+        h = haswell_complex_hash(8)
+        alloc = SliceFilteredAllocator(buffer, h)
+        seen = set()
+        for target in range(8):
+            for a in alloc.allocate_lines(64, target):
+                assert a not in seen
+                seen.add(a)
+
+    def test_exhaustion_raises(self):
+        space = PhysicalAddressSpace(seed=0)
+        small = space.mmap_hugepage(2 * 1024 * 1024, page_size=2 * 1024 * 1024)
+        h = haswell_complex_hash(8)
+        alloc = SliceFilteredAllocator(small, h)
+        # A 2 MB page holds ~4096 lines per slice.
+        with pytest.raises(AllocationError):
+            alloc.allocate_lines(10_000, 0)
+
+    def test_allocate_buffer_single_slice(self, buffer):
+        h = haswell_complex_hash(8)
+        alloc = SliceFilteredAllocator(buffer, h)
+        scattered = alloc.allocate(1024 * 64, [3])
+        assert scattered.n_lines == 1024
+        assert all(s == 3 for s in scattered.slice_indices)
+
+    def test_allocate_buffer_round_robin(self, buffer):
+        h = haswell_complex_hash(8)
+        alloc = SliceFilteredAllocator(buffer, h)
+        scattered = alloc.allocate(8 * CACHE_LINE, [0, 2])
+        assert scattered.slice_indices == [0, 2, 0, 2, 0, 2, 0, 2]
+
+    def test_slice_of_virt(self, buffer):
+        h = haswell_complex_hash(8)
+        alloc = SliceFilteredAllocator(buffer, h)
+        scattered = alloc.allocate(4 * CACHE_LINE, [5])
+        for i in range(4):
+            assert alloc.slice_of_virt(scattered.virt_line_of(i)) == 5
+
+    def test_invalid_requests(self, buffer):
+        alloc = SliceFilteredAllocator(buffer, haswell_complex_hash(8))
+        with pytest.raises(ValueError):
+            alloc.allocate_lines(0, 0)
+        with pytest.raises(IndexError):
+            alloc.allocate_lines(1, 8)
+        with pytest.raises(ValueError):
+            alloc.allocate(0, [0])
+        with pytest.raises(ValueError):
+            alloc.allocate(64, [])
+
+
+class TestScatteredBuffer:
+    def test_address_of_offsets(self):
+        buf = ScatteredBuffer(lines=[0x1000, 0x5000], slice_indices=[0, 1])
+        assert buf.address_of(0) == 0x1000
+        assert buf.address_of(63) == 0x103F
+        assert buf.address_of(64) == 0x5000
+        assert buf.size == 128
+
+    def test_out_of_range_offset(self):
+        buf = ScatteredBuffer(lines=[0x1000], slice_indices=[0])
+        with pytest.raises(IndexError):
+            buf.address_of(64)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ScatteredBuffer(lines=[1], slice_indices=[0, 1])
+        with pytest.raises(ValueError):
+            ScatteredBuffer(lines=[64], slice_indices=[0], virt_lines=[1, 2])
+
+    def test_virt_lines_absent(self):
+        buf = ScatteredBuffer(lines=[0x1000], slice_indices=[0])
+        with pytest.raises(ValueError):
+            buf.virt_line_of(0)

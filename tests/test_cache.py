@@ -1,0 +1,172 @@
+"""Unit tests for the set-associative cache models."""
+
+import pytest
+
+from repro.cachesim.cache import DictCache, WayCache
+from repro.mem.address import CACHE_LINE
+
+
+def line(i: int) -> int:
+    return i * CACHE_LINE
+
+
+@pytest.fixture(params=["dict", "way"])
+def cache_factory(request):
+    def factory(n_sets=4, n_ways=2, **kwargs):
+        if request.param == "dict":
+            return DictCache(n_sets, n_ways)
+        return WayCache(n_sets, n_ways, **kwargs)
+
+    factory.kind = request.param
+    return factory
+
+
+class TestCommonBehaviour:
+    def test_miss_then_hit(self, cache_factory):
+        cache = cache_factory()
+        assert not cache.lookup(line(1))
+        cache.insert(line(1))
+        assert cache.lookup(line(1))
+
+    def test_capacity(self, cache_factory):
+        cache = cache_factory(n_sets=8, n_ways=4)
+        assert cache.capacity_lines == 32
+        assert cache.capacity_bytes == 32 * CACHE_LINE
+
+    def test_set_index_wraps(self, cache_factory):
+        cache = cache_factory(n_sets=4)
+        assert cache.set_index(line(0)) == cache.set_index(line(4))
+        assert cache.set_index(line(1)) != cache.set_index(line(2))
+
+    def test_eviction_on_overflow(self, cache_factory):
+        cache = cache_factory(n_sets=1, n_ways=2)
+        assert cache.insert(line(0)) is None
+        assert cache.insert(line(1)) is None
+        victim = cache.insert(line(2))
+        assert victim is not None
+        assert victim[0] == line(0)  # LRU order
+
+    def test_lru_refresh_changes_victim(self, cache_factory):
+        cache = cache_factory(n_sets=1, n_ways=2)
+        cache.insert(line(0))
+        cache.insert(line(1))
+        cache.lookup(line(0))  # refresh 0
+        victim = cache.insert(line(2))
+        assert victim[0] == line(1)
+
+    def test_eviction_reports_dirty(self, cache_factory):
+        cache = cache_factory(n_sets=1, n_ways=1)
+        cache.insert(line(0), dirty=True)
+        victim = cache.insert(line(1))
+        assert victim == (line(0), True)
+
+    def test_write_lookup_sets_dirty(self, cache_factory):
+        cache = cache_factory(n_sets=1, n_ways=1)
+        cache.insert(line(0), dirty=False)
+        cache.lookup(line(0), write=True)
+        victim = cache.insert(line(1))
+        assert victim == (line(0), True)
+
+    def test_reinsert_merges_dirty_without_eviction(self, cache_factory):
+        cache = cache_factory(n_sets=1, n_ways=2)
+        cache.insert(line(0))
+        assert cache.insert(line(0), dirty=True) is None
+        victim = cache.insert(line(1))
+        assert victim is None
+        victim = cache.insert(line(2))
+        assert victim == (line(0), True)
+
+    def test_invalidate_returns_dirty_bit(self, cache_factory):
+        cache = cache_factory()
+        cache.insert(line(0), dirty=True)
+        assert cache.invalidate(line(0)) is True
+        assert cache.invalidate(line(0)) is None
+        assert not cache.contains(line(0))
+
+    def test_contains_does_not_touch(self, cache_factory):
+        cache = cache_factory(n_sets=1, n_ways=2)
+        cache.insert(line(0))
+        cache.insert(line(1))
+        cache.contains(line(0))  # must not refresh
+        victim = cache.insert(line(2))
+        assert victim[0] == line(0)
+
+    def test_flush_returns_everything(self, cache_factory):
+        cache = cache_factory(n_sets=2, n_ways=2)
+        cache.insert(line(0), dirty=True)
+        cache.insert(line(1))
+        drained = dict(cache.flush())
+        assert drained == {line(0): True, line(1): False}
+        assert cache.occupancy() == 0
+
+    def test_occupancy_and_lines(self, cache_factory):
+        cache = cache_factory(n_sets=4, n_ways=2)
+        for i in range(5):
+            cache.insert(line(i))
+        assert cache.occupancy() == 5
+        assert sorted(cache.lines()) == [line(i) for i in range(5)]
+
+    def test_different_sets_do_not_conflict(self, cache_factory):
+        cache = cache_factory(n_sets=4, n_ways=1)
+        for i in range(4):
+            assert cache.insert(line(i)) is None
+        assert all(cache.contains(line(i)) for i in range(4))
+
+    def test_invalid_geometry(self, cache_factory):
+        with pytest.raises(ValueError):
+            cache_factory(n_sets=3)
+        with pytest.raises(ValueError):
+            cache_factory(n_ways=0)
+
+
+class TestWayCacheMasks:
+    def test_fill_restricted_to_allowed_ways(self):
+        cache = WayCache(1, 4)
+        cache.insert(line(0), allowed_ways=(2, 3))
+        cache.insert(line(1), allowed_ways=(2, 3))
+        assert cache.way_of(line(0)) in (2, 3)
+        assert cache.way_of(line(1)) in (2, 3)
+        victim = cache.insert(line(2), allowed_ways=(2, 3))
+        assert victim is not None  # other ways unusable
+
+    def test_masked_fill_does_not_evict_outside_mask(self):
+        cache = WayCache(1, 4)
+        cache.insert(line(0), allowed_ways=(0,))
+        cache.insert(line(1), allowed_ways=(1, 2, 3))
+        cache.insert(line(2), allowed_ways=(1, 2, 3))
+        cache.insert(line(3), allowed_ways=(1, 2, 3))
+        victim = cache.insert(line(4), allowed_ways=(1, 2, 3))
+        assert victim is not None
+        assert victim[0] != line(0)
+        assert cache.contains(line(0))
+
+    def test_hit_does_not_migrate_ways(self):
+        cache = WayCache(1, 4)
+        cache.insert(line(0), allowed_ways=(0,))
+        way_before = cache.way_of(line(0))
+        cache.insert(line(0), allowed_ways=(3,))  # refresh under new mask
+        assert cache.way_of(line(0)) == way_before
+
+    def test_empty_mask_rejected(self):
+        cache = WayCache(1, 4)
+        with pytest.raises(ValueError):
+            cache.insert(line(0), allowed_ways=())
+
+    def test_set_occupancy(self):
+        cache = WayCache(2, 2)
+        cache.insert(line(0))
+        cache.insert(line(2))
+        assert cache.set_occupancy(cache.set_index(line(0))) == 2
+
+    def test_random_policy_smoke(self):
+        cache = WayCache(2, 2, policy="random")
+        for i in range(20):
+            cache.lookup(line(i))
+            cache.insert(line(i))
+        assert cache.occupancy() <= 4
+
+    def test_plru_policy_smoke(self):
+        cache = WayCache(2, 4, policy="plru")
+        for i in range(40):
+            cache.insert(line(i))
+        assert cache.occupancy() == 8

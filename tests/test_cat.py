@@ -1,0 +1,81 @@
+"""Unit tests for the CAT way-mask controller."""
+
+import pytest
+
+from repro.cachesim.cat import CatController
+
+
+class TestCatController:
+    def test_default_is_disabled(self):
+        cat = CatController(20, 8)
+        assert not cat.is_enabled()
+        assert cat.allowed_ways(0) == tuple(range(20))
+
+    def test_define_and_assign(self):
+        cat = CatController(8, 4)
+        cat.define_clos(1, 0b0000_0011)
+        cat.assign_core(2, 1)
+        assert cat.clos_of(2) == 1
+        assert cat.allowed_ways(2) == (0, 1)
+        assert cat.allowed_ways(0) == tuple(range(8))
+        assert cat.is_enabled()
+
+    def test_mask_of(self):
+        cat = CatController(8, 2)
+        cat.define_clos(1, 0b1110_0000)
+        cat.assign_core(0, 1)
+        assert cat.mask_of(0) == 0b1110_0000
+
+    def test_empty_mask_rejected(self):
+        cat = CatController(8, 1)
+        with pytest.raises(ValueError):
+            cat.define_clos(1, 0)
+
+    def test_non_contiguous_mask_rejected(self):
+        """The SDM requires contiguous capacity masks."""
+        cat = CatController(8, 1)
+        with pytest.raises(ValueError):
+            cat.define_clos(1, 0b1010)
+
+    def test_oversized_mask_rejected(self):
+        cat = CatController(4, 1)
+        with pytest.raises(ValueError):
+            cat.define_clos(1, 0b10000)
+
+    def test_assign_to_undefined_clos(self):
+        cat = CatController(8, 2)
+        with pytest.raises(KeyError):
+            cat.assign_core(0, 7)
+
+    def test_assign_out_of_range_core(self):
+        cat = CatController(8, 2)
+        with pytest.raises(IndexError):
+            cat.assign_core(2, 0)
+
+    def test_redefining_clos_invalidates_cache(self):
+        cat = CatController(8, 1)
+        cat.define_clos(1, 0b0011)
+        cat.assign_core(0, 1)
+        assert cat.allowed_ways(0) == (0, 1)
+        cat.define_clos(1, 0b1100)
+        assert cat.allowed_ways(0) == (2, 3)
+
+    def test_reset(self):
+        cat = CatController(8, 2)
+        cat.define_clos(1, 0b0011)
+        cat.assign_core(1, 1)
+        cat.reset()
+        assert not cat.is_enabled()
+        assert cat.allowed_ways(1) == tuple(range(8))
+
+    def test_full_mask_clos_counts_as_disabled(self):
+        cat = CatController(4, 1)
+        cat.define_clos(1, 0b1111)
+        cat.assign_core(0, 1)
+        assert not cat.is_enabled()
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CatController(0, 1)
+        with pytest.raises(ValueError):
+            CatController(4, 0)

@@ -1,0 +1,96 @@
+"""Unit tests for service chains and the DuT environment."""
+
+import pytest
+
+from repro.net.chain import (
+    DutConfig,
+    DutEnvironment,
+    ServiceChain,
+    router_napt_lb_chain,
+    simple_forwarding_chain,
+)
+from repro.net.nf import MacSwapForwarder
+from repro.net.packet import FiveTuple, Packet
+
+
+def packet(flow_id=1, size=64):
+    return Packet(size=size, flow=FiveTuple(flow_id, 2, 3, 4, 6))
+
+
+class TestServiceChain:
+    def test_factories(self):
+        fwd = simple_forwarding_chain()
+        assert fwd.name == "simple-forwarding"
+        assert len(fwd.nfs) == 1
+        chain = router_napt_lb_chain()
+        assert [nf.name for nf in chain.nfs] == ["router", "napt", "lb"]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceChain("empty", [])
+
+    def test_negative_framework_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceChain("x", [MacSwapForwarder()], framework_cycles=-1)
+
+    def test_framework_cycles_added(self):
+        env = DutEnvironment(DutConfig(), simple_forwarding_chain)
+        assert env.chain.framework_cycles == 1600
+        cycles = env.process_packet(packet(), queue=0)
+        assert cycles is not None
+        assert cycles > 1600
+
+    def test_packets_processed_counter(self):
+        env = DutEnvironment(DutConfig(), simple_forwarding_chain)
+        env.process_packet(packet(), queue=0)
+        env.process_packet(packet(), queue=1)
+        assert env.chain.packets_processed == 2
+
+
+class TestDutEnvironment:
+    def test_mbufs_recycle(self):
+        env = DutEnvironment(DutConfig(n_mbufs=64), simple_forwarding_chain)
+        before = env.mempool.available
+        for i in range(200):
+            assert env.process_packet(packet(i), queue=i % 8) is not None
+        assert env.mempool.available == before
+
+    def test_cache_director_provisions_extra_data_room(self):
+        base = DutEnvironment(DutConfig(cache_director=False), simple_forwarding_chain)
+        cd = DutEnvironment(DutConfig(cache_director=True), simple_forwarding_chain)
+        assert cd.mempool.data_room > base.mempool.data_room
+        assert cd.cache_director is not None
+        assert base.cache_director is None
+
+    def test_mtu_frame_never_chains_with_cache_director(self):
+        """The paper sizes the data room so the dynamic headroom never
+        forces multi-mbuf packets for MTU frames."""
+        env = DutEnvironment(DutConfig(cache_director=True), simple_forwarding_chain)
+        mbuf = env.nic.deliver(packet(size=1500), 1500, queue=7)
+        assert mbuf is not None
+        assert mbuf.chain_length() == 1
+
+    def test_cache_director_reduces_service_cycles(self):
+        pkts = [packet(i) for i in range(300)]
+        queues = [i % 8 for i in range(300)]
+        base = DutEnvironment(DutConfig(cache_director=False), router_napt_lb_chain)
+        cd = DutEnvironment(DutConfig(cache_director=True), router_napt_lb_chain)
+        base_cycles = [c for c in base.service_cycles(pkts, queues) if c is not None]
+        cd_cycles = [c for c in cd.service_cycles(pkts, queues) if c is not None]
+        assert sum(cd_cycles) < sum(base_cycles)
+
+    def test_service_cycles_length_mismatch(self):
+        env = DutEnvironment(DutConfig(), simple_forwarding_chain)
+        with pytest.raises(ValueError):
+            env.service_cycles([packet()], [0, 1])
+
+    def test_ddio_disabled_increases_cost(self):
+        """Without DDIO the header read goes to DRAM — the machinery
+        the paper builds on."""
+        pkts = [packet(i) for i in range(100)]
+        queues = [0] * 100
+        with_ddio = DutEnvironment(DutConfig(ddio_enabled=True), simple_forwarding_chain)
+        without = DutEnvironment(DutConfig(ddio_enabled=False), simple_forwarding_chain)
+        cycles_with = sum(c for c in with_ddio.service_cycles(pkts, queues) if c)
+        cycles_without = sum(c for c in without.service_cycles(pkts, queues) if c)
+        assert cycles_without > cycles_with

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.machine == "haswell"
+        assert args.core == 0
+
+    def test_profile_machine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--machine", "icelake"])
+
+    def test_fig_choices(self):
+        args = build_parser().parse_args(["fig", "6"])
+        assert args.number == 6
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "9"])
+
+    def test_table_choices(self):
+        assert build_parser().parse_args(["table", "4"]).number == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "5"])
+
+    def test_ablation_choices(self):
+        assert build_parser().parse_args(["ablation", "mtu"]).which == "mtu"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "bogus"])
+
+
+class TestExecution:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "LLC-Slice" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "64B-L" in capsys.readouterr().out
+
+    def test_table3_redirects(self, capsys):
+        assert main(["table", "3"]) == 2
+        assert "fig 13" in capsys.readouterr().err
+
+    def test_table4(self, capsys):
+        assert main(["table", "4"]) == 0
+        assert "C0" in capsys.readouterr().out
+
+    def test_profile_smoke(self, capsys):
+        assert main(["profile", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "slice" in out
+        assert "NUCA" in out
+
+    def test_recover_hash_smoke(self, capsys):
+        assert main(["recover-hash", "--verify", "16"]) == 0
+        assert "o2" in capsys.readouterr().out
+
+    def test_fig12_smoke(self, capsys):
+        assert main(["fig", "12", "--ops", "200", "--runs", "1"]) == 0
+        assert "1000 pps" in capsys.readouterr().out
+
+    def test_headroom_smoke(self, capsys):
+        assert main(["headroom", "--packets", "300"]) == 0
+        assert "median" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Unit tests for uncore (CBo/CHA) counters."""
+
+import pytest
+
+from repro.cachesim.counters import (
+    EVENT_HITS,
+    EVENT_LOOKUPS,
+    EVENT_MISSES,
+    SliceCounters,
+    UncoreCounters,
+)
+
+
+class TestSliceCounters:
+    def test_count_and_read(self):
+        c = SliceCounters(0)
+        c.count(EVENT_LOOKUPS)
+        c.count(EVENT_LOOKUPS, 4)
+        assert c.read(EVENT_LOOKUPS) == 5
+
+    def test_unknown_event_rejected(self):
+        c = SliceCounters(0)
+        with pytest.raises(KeyError):
+            c.count("bogus")
+        with pytest.raises(KeyError):
+            c.read("bogus")
+
+    def test_reset(self):
+        c = SliceCounters(0)
+        c.count(EVENT_HITS, 10)
+        c.reset()
+        assert c.read(EVENT_HITS) == 0
+
+
+class TestUncoreCounters:
+    def test_per_slice_independence(self):
+        u = UncoreCounters(4)
+        u.count(2, EVENT_MISSES)
+        assert u.read_all(EVENT_MISSES) == [0, 0, 1, 0]
+
+    def test_snapshot_delta(self):
+        u = UncoreCounters(3)
+        u.count(1, EVENT_LOOKUPS, 5)
+        snap = u.snapshot(EVENT_LOOKUPS)
+        u.count(1, EVENT_LOOKUPS, 2)
+        u.count(2, EVENT_LOOKUPS, 7)
+        assert u.delta(EVENT_LOOKUPS, snap) == [0, 2, 7]
+
+    def test_busiest_slice(self):
+        u = UncoreCounters(8)
+        snap = u.snapshot(EVENT_LOOKUPS)
+        u.count(5, EVENT_LOOKUPS, 100)
+        u.count(3, EVENT_LOOKUPS, 2)
+        assert u.busiest_slice(EVENT_LOOKUPS, snap) == 5
+
+    def test_delta_shape_mismatch(self):
+        u = UncoreCounters(4)
+        with pytest.raises(ValueError):
+            u.delta(EVENT_LOOKUPS, (0, 0))
+
+    def test_reset_all(self):
+        u = UncoreCounters(2)
+        u.count(0, EVENT_HITS)
+        u.count(1, EVENT_MISSES)
+        u.reset()
+        assert u.read_all(EVENT_HITS) == [0, 0]
+        assert u.read_all(EVENT_MISSES) == [0, 0]
+
+    def test_invalid_slice_count(self):
+        with pytest.raises(ValueError):
+            UncoreCounters(0)

@@ -1,0 +1,101 @@
+"""Unit tests for the DDIO DMA engine."""
+
+import pytest
+
+from repro.cachesim.ddio import DdioEngine
+from repro.cachesim.hashfn import haswell_complex_hash
+from repro.cachesim.hierarchy import CacheHierarchy
+from repro.cachesim.interconnect import RingInterconnect
+from repro.cachesim.llc import SlicedLLC
+from repro.mem.address import CACHE_LINE
+
+
+def make_hierarchy():
+    llc = SlicedLLC(
+        slice_hash=haswell_complex_hash(8),
+        interconnect=RingInterconnect(),
+        n_sets=64,
+        n_ways=8,
+        ddio_ways=2,
+    )
+    return CacheHierarchy(n_cores=8, llc=llc, l1_sets=4, l1_ways=2, l2_sets=16, l2_ways=4)
+
+
+class TestDmaWrite:
+    def test_lines_land_in_llc(self):
+        h = make_hierarchy()
+        ddio = DdioEngine(h)
+        assert ddio.dma_write(0, 128) == 2
+        assert h.llc.contains(0)
+        assert h.llc.contains(CACHE_LINE)
+
+    def test_lands_in_ddio_ways(self):
+        h = make_hierarchy()
+        ddio = DdioEngine(h)
+        ddio.dma_write(0, CACHE_LINE)
+        slice_index = h.llc.slice_of(0)
+        assert h.llc.slices[slice_index].way_of(0) in h.llc.ddio_way_tuple
+
+    def test_invalidates_stale_private_copies(self):
+        h = make_hierarchy()
+        ddio = DdioEngine(h)
+        h.access_line(2, 0, write=True)
+        ddio.dma_write(0, CACHE_LINE)
+        assert not h.l1s[2].contains(0)
+        assert not h.l2s[2].contains(0)
+
+    def test_line_is_dirty_after_dma(self):
+        """DMA data must eventually reach DRAM: the LLC copy is
+        modified."""
+        h = make_hierarchy()
+        ddio = DdioEngine(h)
+        ddio.dma_write(0, CACHE_LINE)
+        slice_index = h.llc.slice_of(0)
+        assert dict(h.llc.slices[slice_index].flush())[0] is True
+
+    def test_disabled_ddio_bypasses_llc(self):
+        h = make_hierarchy()
+        ddio = DdioEngine(h, enabled=False)
+        h.access_line(0, 0)
+        ddio.dma_write(0, CACHE_LINE)
+        assert h.locate(0) == "dram"
+
+    def test_partial_line_counts_whole_line(self):
+        h = make_hierarchy()
+        ddio = DdioEngine(h)
+        assert ddio.dma_write(10, 4) == 1
+
+    def test_stats(self):
+        h = make_hierarchy()
+        ddio = DdioEngine(h)
+        ddio.dma_write(0, 256)
+        assert ddio.stats.write_lines == 4
+
+    def test_invalid_size(self):
+        ddio = DdioEngine(make_hierarchy())
+        with pytest.raises(ValueError):
+            ddio.dma_write(0, 0)
+
+
+class TestDmaRead:
+    def test_read_hit_when_resident(self):
+        h = make_hierarchy()
+        ddio = DdioEngine(h)
+        ddio.dma_write(0, CACHE_LINE)
+        ddio.dma_read(0, CACHE_LINE)
+        assert ddio.stats.read_hits == 1
+        assert ddio.stats.read_misses == 0
+
+    def test_read_miss_does_not_allocate(self):
+        h = make_hierarchy()
+        ddio = DdioEngine(h)
+        ddio.dma_read(0, CACHE_LINE)
+        assert ddio.stats.read_misses == 1
+        assert not h.llc.contains(0)
+
+    def test_stats_reset(self):
+        h = make_hierarchy()
+        ddio = DdioEngine(h)
+        ddio.dma_write(0, CACHE_LINE)
+        ddio.stats.reset()
+        assert ddio.stats.write_lines == 0

@@ -1,0 +1,123 @@
+"""Failure-injection tests: resource exhaustion and overload behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.hashfn import ModularSliceHash, haswell_complex_hash
+from repro.mem.address import PAGE_2M
+from repro.mem.allocator import AllocationError, SliceFilteredAllocator
+from repro.mem.hugepage import OutOfMemoryError, PhysicalAddressSpace
+from repro.net.chain import DutConfig, DutEnvironment, simple_forwarding_chain
+from repro.net.packet import FiveTuple, Packet
+
+
+def packet(flow_id=1, size=64):
+    return Packet(size=size, flow=FiveTuple(flow_id, 2, 3, 4, 6))
+
+
+class TestNfvOverload:
+    def test_pool_exhaustion_counts_drops_and_recovers(self):
+        env = DutEnvironment(
+            DutConfig(n_mbufs=8, rx_ring_size=64), simple_forwarding_chain
+        )
+        # Flood queue 0 without polling: the pool (8 mbufs) exhausts.
+        delivered = 0
+        for i in range(32):
+            if env.nic.deliver(packet(i), 64, queue=0) is not None:
+                delivered += 1
+        assert delivered == 8
+        assert env.nic.stats.rx_drops_no_mbuf == 24
+        # Drain the queue; the pool refills and service resumes.
+        mbufs, _ = env.pmd.rx_burst(0, max_packets=8)
+        env.pmd.tx_burst(0, mbufs)
+        assert env.mempool.available == 8
+        assert env.process_packet(packet(99), queue=0) is not None
+
+    def test_ring_overflow_counts_drops(self):
+        env = DutEnvironment(
+            DutConfig(n_mbufs=64, rx_ring_size=16), simple_forwarding_chain
+        )
+        for i in range(20):
+            env.nic.deliver(packet(i), 64, queue=3)
+        assert env.nic.stats.rx_drops_ring_full == 4
+        assert len(env.nic.rx_rings[3]) == 16
+
+    def test_drops_do_not_leak_mbufs(self):
+        env = DutEnvironment(
+            DutConfig(n_mbufs=32, rx_ring_size=8), simple_forwarding_chain
+        )
+        for i in range(64):
+            env.nic.deliver(packet(i), 64, queue=0)
+        # 8 on the ring, the rest dropped; drops must not consume mbufs.
+        assert env.mempool.in_use == 8
+
+    def test_chained_packet_partial_alloc_rolls_back(self):
+        """When a multi-mbuf frame cannot complete its chain, every
+        already-claimed segment returns to the pool."""
+        env = DutEnvironment(
+            DutConfig(n_mbufs=2, rx_ring_size=8, data_room=512),
+            simple_forwarding_chain,
+        )
+        # 1500 B needs 3 segments at 512 B data room, but only 2 exist.
+        assert env.nic.deliver(packet(size=1500), 1500, queue=0) is None
+        assert env.mempool.available == 2
+        assert env.nic.stats.rx_drops_no_mbuf == 1
+
+
+class TestAllocatorExhaustion:
+    def test_slice_filtered_exhaustion_is_clean(self):
+        space = PhysicalAddressSpace(seed=0)
+        buffer = space.mmap_hugepage(PAGE_2M, page_size=PAGE_2M)
+        allocator = SliceFilteredAllocator(buffer, haswell_complex_hash(8))
+        # ~4096 lines of each slice exist in a 2 MB page.
+        first = allocator.allocate_lines(4000, 0)
+        with pytest.raises(AllocationError):
+            allocator.allocate_lines(1000, 0)
+        # Other slices remain allocatable after the failure.
+        other = allocator.allocate_lines(1000, 1)
+        assert not set(first) & set(other)
+
+    def test_address_space_exhaustion(self):
+        space = PhysicalAddressSpace(size=PAGE_2M, base=0, seed=None)
+        space.mmap_hugepage(PAGE_2M, page_size=PAGE_2M)
+        with pytest.raises(OutOfMemoryError):
+            space.mmap_hugepage(PAGE_2M, page_size=PAGE_2M)
+
+
+class TestVectorisedModularHash:
+    def test_matches_scalar(self):
+        h = ModularSliceHash(18)
+        addresses = np.arange(0, 1 << 16, 64, dtype=np.uint64)
+        vector = h.slice_of_array(addresses)
+        for i in range(0, len(addresses), 53):
+            assert vector[i] == h.slice_of(int(addresses[i]))
+
+    def test_matches_scalar_high_addresses(self):
+        h = ModularSliceHash(18, seed=123)
+        base = np.uint64(11 << 32)
+        addresses = base + np.arange(0, 1 << 13, 64, dtype=np.uint64)
+        vector = h.slice_of_array(addresses)
+        for i in range(0, len(addresses), 17):
+            assert vector[i] == h.slice_of(int(addresses[i]))
+
+
+class TestSeedRobustness:
+    def test_fig06_ordering_stable_across_seeds(self):
+        """The Fig. 6 conclusion (own slice best, far odd slice worst)
+        must not depend on the RNG seed or physical layout."""
+        from repro.experiments.fig06_speedup import run_fig06
+
+        for seed in (0, 11):
+            result = run_fig06(n_ops=1200, seed=seed)
+            reads = result.read_speedup_pct
+            assert reads[0] == max(reads)
+            assert min(reads[s] for s in (0, 2, 4, 6)) > max(
+                reads[s] for s in (1, 3, 5, 7)
+            )
+
+    def test_headroom_bound_stable_across_seeds(self):
+        from repro.experiments.headroom import run_headroom_experiment
+
+        for seed in (0, 7):
+            result = run_headroom_experiment(n_packets=400, seed=seed)
+            assert result.max <= 576

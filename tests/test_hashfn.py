@@ -1,0 +1,149 @@
+"""Unit tests for Complex Addressing hash functions."""
+
+import collections
+
+import pytest
+
+from repro.cachesim.hashfn import (
+    ComplexAddressingHash,
+    HASWELL_MASKS_8_SLICE,
+    ModularSliceHash,
+    O0_BITS,
+    O1_BITS,
+    O2_BITS,
+    haswell_complex_hash,
+)
+from repro.mem.address import CACHE_LINE
+
+
+class TestComplexAddressingHash:
+    def test_slice_count_from_masks(self):
+        assert haswell_complex_hash(8).n_slices == 8
+        assert haswell_complex_hash(4).n_slices == 4
+        assert haswell_complex_hash(2).n_slices == 2
+
+    def test_unsupported_slice_counts(self):
+        with pytest.raises(ValueError):
+            haswell_complex_hash(16)
+        with pytest.raises(ValueError):
+            haswell_complex_hash(3)
+
+    def test_requires_masks(self):
+        with pytest.raises(ValueError):
+            ComplexAddressingHash([])
+
+    def test_output_in_range(self):
+        h = haswell_complex_hash(8)
+        for address in range(0, 1 << 16, CACHE_LINE):
+            assert 0 <= h.slice_of(address) < 8
+
+    def test_same_line_same_slice(self):
+        h = haswell_complex_hash(8)
+        base = 0x12345000
+        # Bits below 6 are not part of any mask; all bytes of a line
+        # share one slice.
+        for offset in range(CACHE_LINE):
+            assert h.slice_of(base + offset) == h.slice_of(base)
+
+    def test_xor_linearity(self):
+        """slice(a) ^ slice(a ^ d) depends only on d — the property
+        the reverse-engineering technique relies on."""
+        h = haswell_complex_hash(8)
+        delta = 1 << 12
+        expected = h.slice_of(0) ^ h.slice_of(delta)
+        for base in (0x100000, 0x3F0000, 0xABCDE000):
+            base &= ~(CACHE_LINE - 1)
+            assert (h.slice_of(base) ^ h.slice_of(base ^ delta)) == expected
+
+    def test_adjacent_lines_almost_always_differ(self):
+        """'Complex Addressing maps almost every cache line (64 B) to a
+        different LLC slice' (§4.2) — carries across many hash bits can
+        occasionally preserve the slice, but only rarely."""
+        h = haswell_complex_hash(8)
+        same = sum(
+            h.slice_of(line * CACHE_LINE) == h.slice_of((line + 1) * CACHE_LINE)
+            for line in range(4096)
+        )
+        assert same / 4096 < 0.01
+
+    def test_block_balance(self):
+        """Every aligned 8-line block holds one line of each slice."""
+        h = haswell_complex_hash(8)
+        for block in range(0, 64):
+            slices = {h.slice_of((block * 8 + i) * CACHE_LINE) for i in range(8)}
+            assert slices == set(range(8))
+
+    def test_roughly_uniform_distribution(self):
+        h = haswell_complex_hash(8)
+        counts = collections.Counter(
+            h.slice_of(i * CACHE_LINE) for i in range(1 << 14)
+        )
+        expected = (1 << 14) / 8
+        for count in counts.values():
+            assert abs(count - expected) / expected < 0.02
+
+    def test_published_bit_positions(self):
+        masks = HASWELL_MASKS_8_SLICE
+        assert masks[0] == sum(1 << b for b in O0_BITS)
+        assert masks[1] == sum(1 << b for b in O1_BITS)
+        assert masks[2] == sum(1 << b for b in O2_BITS)
+
+    def test_uses_bit(self):
+        h = haswell_complex_hash(8)
+        assert h.uses_bit(6)
+        assert h.uses_bit(34)
+        assert not h.uses_bit(5)
+        assert not h.uses_bit(9)
+
+    def test_output_bit_matches_slice(self):
+        h = haswell_complex_hash(8)
+        for address in (0, 0x40, 0x1000, 0xDEADBEC0):
+            value = sum(h.output_bit(address, i) << i for i in range(3))
+            assert value == h.slice_of(address)
+
+
+class TestModularSliceHash:
+    @pytest.mark.parametrize("n_slices", [1, 2, 8, 10, 18, 28])
+    def test_output_in_range(self, n_slices):
+        h = ModularSliceHash(n_slices)
+        for line in range(512):
+            assert 0 <= h.slice_of(line * CACHE_LINE) < n_slices
+
+    def test_block_balance(self):
+        """Each aligned n-line block is a permutation of all slices."""
+        h = ModularSliceHash(18)
+        for block in range(64):
+            slices = [h.slice_of((block * 18 + i) * CACHE_LINE) for i in range(18)]
+            assert sorted(slices) == list(range(18))
+
+    def test_deterministic(self):
+        a = ModularSliceHash(18, seed=5)
+        b = ModularSliceHash(18, seed=5)
+        assert all(
+            a.slice_of(i * CACHE_LINE) == b.slice_of(i * CACHE_LINE)
+            for i in range(1000)
+        )
+
+    def test_seed_changes_mapping(self):
+        a = ModularSliceHash(18, seed=1)
+        b = ModularSliceHash(18, seed=2)
+        diffs = sum(
+            a.slice_of(i * CACHE_LINE) != b.slice_of(i * CACHE_LINE)
+            for i in range(1000)
+        )
+        assert diffs > 500
+
+    def test_uniform_distribution(self):
+        h = ModularSliceHash(18)
+        counts = collections.Counter(h.slice_of(i * CACHE_LINE) for i in range(18 * 1000))
+        for count in counts.values():
+            assert count == 1000  # block balance makes it exact
+
+    def test_invalid_slice_count(self):
+        with pytest.raises(ValueError):
+            ModularSliceHash(0)
+
+    def test_same_line_same_slice(self):
+        h = ModularSliceHash(18)
+        for offset in range(CACHE_LINE):
+            assert h.slice_of(0x1000 + offset) == h.slice_of(0x1000)

@@ -1,0 +1,123 @@
+"""Unit tests for the simulated physical address space and pagemap."""
+
+import pytest
+
+from repro.mem.address import PAGE_1G, PAGE_2M, PAGE_4K
+from repro.mem.hugepage import (
+    HugepageBuffer,
+    OutOfMemoryError,
+    Pagemap,
+    PhysicalAddressSpace,
+)
+
+
+class TestHugepageBuffer:
+    def make(self):
+        return HugepageBuffer(virt=0x7000_0000_0000, phys=PAGE_1G, size=PAGE_1G, page_size=PAGE_1G)
+
+    def test_virt_to_phys_base(self):
+        buf = self.make()
+        assert buf.virt_to_phys(buf.virt) == buf.phys
+
+    def test_virt_to_phys_offset(self):
+        buf = self.make()
+        assert buf.virt_to_phys(buf.virt + 4096) == buf.phys + 4096
+
+    def test_virt_to_phys_out_of_range(self):
+        buf = self.make()
+        with pytest.raises(ValueError):
+            buf.virt_to_phys(buf.virt + buf.size)
+        with pytest.raises(ValueError):
+            buf.virt_to_phys(buf.virt - 1)
+
+    def test_phys_to_virt_roundtrip(self):
+        buf = self.make()
+        for offset in (0, 64, buf.size - 1):
+            phys = buf.virt_to_phys(buf.virt + offset)
+            assert buf.phys_to_virt(phys) == buf.virt + offset
+
+    def test_phys_to_virt_out_of_range(self):
+        buf = self.make()
+        with pytest.raises(ValueError):
+            buf.phys_to_virt(buf.phys + buf.size)
+
+    def test_contains(self):
+        buf = self.make()
+        assert buf.contains(buf.virt)
+        assert buf.contains(buf.virt + buf.size - 1)
+        assert not buf.contains(buf.virt + buf.size)
+
+
+class TestPhysicalAddressSpace:
+    def test_mmap_is_page_aligned(self):
+        space = PhysicalAddressSpace(seed=1)
+        buf = space.mmap_hugepage(PAGE_1G)
+        assert buf.phys % PAGE_1G == 0
+        assert buf.virt % PAGE_1G == 0
+
+    def test_mmap_rounds_size_up(self):
+        space = PhysicalAddressSpace(seed=1)
+        buf = space.mmap_hugepage(100, page_size=PAGE_2M)
+        assert buf.size == PAGE_2M
+
+    def test_allocations_do_not_overlap(self):
+        space = PhysicalAddressSpace(seed=3)
+        buffers = [space.mmap_hugepage(PAGE_2M, page_size=PAGE_2M) for _ in range(20)]
+        spans = sorted((b.phys, b.phys + b.size) for b in buffers)
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_virtual_addresses_do_not_overlap(self):
+        space = PhysicalAddressSpace(seed=3)
+        buffers = [space.mmap_hugepage(PAGE_2M, page_size=PAGE_2M) for _ in range(20)]
+        spans = sorted((b.virt, b.virt + b.size) for b in buffers)
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_exhaustion_raises(self):
+        space = PhysicalAddressSpace(size=2 * PAGE_1G, seed=None)
+        space.mmap_hugepage(PAGE_1G)
+        space.mmap_hugepage(PAGE_1G)
+        with pytest.raises(OutOfMemoryError):
+            space.mmap_hugepage(PAGE_1G)
+
+    def test_deterministic_layout_per_seed(self):
+        a = PhysicalAddressSpace(seed=7).mmap_hugepage(PAGE_1G)
+        b = PhysicalAddressSpace(seed=7).mmap_hugepage(PAGE_1G)
+        assert a.phys == b.phys
+
+    def test_invalid_page_size_rejected(self):
+        space = PhysicalAddressSpace()
+        with pytest.raises(ValueError):
+            space.mmap_hugepage(PAGE_4K, page_size=12345)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalAddressSpace(size=0)
+        with pytest.raises(ValueError):
+            PhysicalAddressSpace().mmap_hugepage(0)
+
+    def test_registered_with_pagemap(self):
+        space = PhysicalAddressSpace(seed=0)
+        buf = space.mmap_hugepage(PAGE_1G)
+        assert space.pagemap.virt_to_phys(buf.virt + 100) == buf.phys + 100
+
+
+class TestPagemap:
+    def test_unmapped_lookup_raises(self):
+        pagemap = Pagemap()
+        with pytest.raises(KeyError):
+            pagemap.virt_to_phys(0x1234)
+
+    def test_find_returns_none_when_unmapped(self):
+        assert Pagemap().find(0) is None
+
+    def test_multiple_regions(self):
+        pagemap = Pagemap()
+        a = HugepageBuffer(virt=0x1000_0000, phys=0x10_0000, size=PAGE_2M, page_size=PAGE_2M)
+        b = HugepageBuffer(virt=0x2000_0000, phys=0x40_0000, size=PAGE_2M, page_size=PAGE_2M)
+        pagemap.register(a)
+        pagemap.register(b)
+        assert pagemap.virt_to_phys(0x1000_0040) == 0x10_0040
+        assert pagemap.virt_to_phys(0x2000_0040) == 0x40_0040
+        assert len(pagemap) == 2

@@ -1,0 +1,163 @@
+"""Cross-module integration tests: the paper's claims, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.machines import HASWELL_E5_2667V3, SKYLAKE_GOLD_6134
+from repro.core.slice_aware import SliceAwareContext
+from repro.dpdk.steering import FlowDirectorSteering, RssSteering
+from repro.net.chain import (
+    DutConfig,
+    DutEnvironment,
+    router_napt_lb_chain,
+    simple_forwarding_chain,
+)
+from repro.net.harness import (
+    bootstrap_service_ns,
+    sample_service_distribution,
+    simulate_queueing_latency,
+)
+from repro.net.trace import CampusTraceGenerator
+
+
+class TestSliceAwareSpeedupEndToEnd:
+    """§3's headline micro-claim: accessing memory in the core's own
+    slice is measurably faster than normal allocation."""
+
+    def test_slice_zero_faster_than_far_slice_for_core0(self):
+        context = SliceAwareContext(HASWELL_E5_2667V3, seed=0)
+        hierarchy = context.hierarchy
+        # The working set must exceed the 256 kB L2 for LLC latency to
+        # matter (the paper's Fig. 7 'slice' regime).
+        n_lines = 8192  # 512 kB
+        rng = np.random.default_rng(0)
+        cycles = {}
+        for target in (0, 5):
+            buf = context.allocate_slice_aware(n_lines * 64, slice_indices=[target])
+            for i in range(n_lines):
+                hierarchy.read(0, buf.line_of(i))
+            total = 0
+            for i in rng.integers(0, n_lines, 3000):
+                total += hierarchy.read(0, buf.line_of(int(i)))
+            cycles[target] = total
+        assert cycles[0] < cycles[5]
+        # The gap corresponds to the ~22-cycle NUCA spread on a
+        # substantial fraction of accesses.
+        assert (cycles[5] - cycles[0]) / cycles[0] > 0.1
+
+
+class TestCacheDirectorEndToEnd:
+    def test_header_slice_placement_improves_chain_latency(self):
+        gen = CampusTraceGenerator(seed=3)
+        packets = gen.generate(400, rate_pps=4e6)
+        queues = [p.flow.src_port % 8 for p in packets]
+        results = {}
+        for cd in (False, True):
+            env = DutEnvironment(DutConfig(cache_director=cd), router_napt_lb_chain)
+            cycles = [c for c in env.service_cycles(packets, queues) if c is not None]
+            results[cd] = sum(cycles) / len(cycles)
+        assert results[True] < results[False]
+
+    def test_headroom_distribution_bounded_like_paper(self):
+        gen = CampusTraceGenerator(seed=3)
+        env = DutEnvironment(DutConfig(cache_director=True), simple_forwarding_chain)
+        for p in gen.generate(500, rate_pps=4e6):
+            env.process_packet(p, p.flow.src_port % 8)
+        summary = env.cache_director.stats.summary()
+        # §4.2: bounded dynamic headroom; the XOR hash bounds the
+        # displacement to < 8 lines past the 128 B base.
+        assert summary["max"] <= 128 + 7 * 64
+        assert summary["median"] >= 128
+
+
+class TestQueueingPipeline:
+    def test_full_pipeline_produces_sane_latency(self):
+        gen = CampusTraceGenerator(seed=1)
+        env = DutEnvironment(DutConfig(cache_director=False), simple_forwarding_chain)
+        rss = RssSteering(8)
+        micro = gen.generate(600, rate_pps=4e6)
+        queues = [rss.queue_for(p.flow_key) for p in micro]
+        service = sample_service_distribution(env, micro, queues)
+        assert service.mean() > 0
+
+        sizes, flows, arrivals = gen.generate_arrays(30_000, rate_gbps=40.0)
+        rng = np.random.default_rng(0)
+        flow_keys = [tuple(f) for f in gen.flows]
+        steering = RssSteering(8)
+        queue_map = {i: steering.queue_for(flow_keys[i]) for i in range(len(flow_keys))}
+        queue_ids = np.array([queue_map[int(f)] for f in flows])
+        result = simulate_queueing_latency(
+            arrivals,
+            sizes,
+            queue_ids,
+            bootstrap_service_ns(service, len(sizes), rng),
+            n_queues=8,
+        )
+        # At 40 Gbps (about half capacity) there are no drops and the
+        # p99 sits above the mean but within the ring bound.
+        assert result.drop_fraction < 0.05
+        assert result.summary[99] >= result.summary[75]
+
+    def test_flow_director_balances_better_than_rss(self):
+        gen = CampusTraceGenerator(seed=2)
+        flows = gen.flow_indices(40_000)
+        flow_keys = [tuple(f) for f in gen.flows]
+        rss, fd = RssSteering(8), FlowDirectorSteering(8)
+        rss_counts = np.zeros(8)
+        fd_counts = np.zeros(8)
+        for f in flows:
+            rss_counts[rss.queue_for(flow_keys[int(f)])] += 1
+            fd_counts[fd.queue_for(flow_keys[int(f)])] += 1
+        assert fd_counts.std() <= rss_counts.std()
+
+
+class TestSkylakePort:
+    """§6: the scheme still works on the mesh/victim-cache machine."""
+
+    def test_slice_aware_allocation_works_on_skylake(self):
+        context = SliceAwareContext(SKYLAKE_GOLD_6134, seed=0)
+        buf = context.allocate_slice_aware(64 * 64, core=6)
+        assert all(s == 3 for s in buf.slice_indices)  # Table 4: C6 -> S3
+
+    def test_victim_llc_keeps_ddio_in_llc(self):
+        """'the shift toward non-inclusiveness does not affect DDIO,
+        thus packets are still loaded in LLC' (§6)."""
+        from repro.cachesim.ddio import DdioEngine
+        from repro.cachesim.machines import build_hierarchy
+
+        hierarchy = build_hierarchy(SKYLAKE_GOLD_6134)
+        ddio = DdioEngine(hierarchy)
+        ddio.dma_write(0x8000, 64)
+        assert hierarchy.llc.contains(0x8000)
+        assert not hierarchy.l2s[0].contains(0x8000)
+
+
+class TestInvariantsAfterRealWorkloads:
+    """check_invariants() as a model check after real experiment flows."""
+
+    def test_invariants_after_nfv_microsim(self):
+        gen = CampusTraceGenerator(seed=5)
+        env = DutEnvironment(DutConfig(cache_director=True), router_napt_lb_chain)
+        packets = gen.generate(300, rate_pps=4e6)
+        env.service_cycles(packets, [p.flow.src_port % 8 for p in packets])
+        env.hierarchy.check_invariants()
+
+    def test_invariants_after_kvs_run(self):
+        from repro.kvs.server import KvsServer
+        from repro.kvs.store import KvsStore
+
+        ctx = SliceAwareContext(HASWELL_E5_2667V3, seed=0)
+        store = KvsStore(ctx, core=0, n_keys=1 << 12, slice_aware=True)
+        server = KvsServer(ctx, store, core=0)
+        keys = np.random.default_rng(0).integers(0, 1 << 12, 500)
+        server.run(keys, np.ones(500, bool))
+        ctx.hierarchy.check_invariants()
+
+    def test_invariants_after_skylake_profile(self):
+        ctx = SliceAwareContext(SKYLAKE_GOLD_6134, seed=0)
+        from repro.core.profiles import measure_slice_latencies
+
+        measure_slice_latencies(
+            ctx.hierarchy, ctx.hugepage, ctx.address_space.pagemap, core=0, runs=1
+        )
+        ctx.hierarchy.check_invariants()

@@ -1,0 +1,61 @@
+"""Unit tests for isolation policies (§7)."""
+
+import pytest
+
+from repro.cachesim.cat import CatController
+from repro.cachesim.machines import SKYLAKE_GOLD_6134
+from repro.core.isolation import configure_cat_way_isolation, plan_slice_isolation
+from repro.core.slice_aware import SliceAwareContext
+
+
+class TestCatWayIsolation:
+    def test_partition_masks_disjoint(self):
+        cat = CatController(11, 8)
+        configure_cat_way_isolation(cat, main_core=0, main_ways=2, neighbour_cores=[4])
+        assert cat.mask_of(0) & cat.mask_of(4) == 0
+        assert cat.mask_of(0) | cat.mask_of(4) == (1 << 11) - 1
+
+    def test_main_gets_requested_ways(self):
+        cat = CatController(11, 8)
+        configure_cat_way_isolation(cat, 0, 2, [4])
+        assert len(cat.allowed_ways(0)) == 2
+        assert len(cat.allowed_ways(4)) == 9
+
+    def test_unassigned_cores_keep_full_mask(self):
+        cat = CatController(11, 8)
+        configure_cat_way_isolation(cat, 0, 2, [4])
+        assert cat.mask_of(2) == (1 << 11) - 1
+
+    def test_invalid_way_split(self):
+        cat = CatController(11, 8)
+        with pytest.raises(ValueError):
+            configure_cat_way_isolation(cat, 0, 0, [4])
+        with pytest.raises(ValueError):
+            configure_cat_way_isolation(cat, 0, 11, [4])
+
+
+class TestSliceIsolation:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return SliceAwareContext(SKYLAKE_GOLD_6134, seed=0)
+
+    def test_main_buffer_in_primary_slice(self, context):
+        plan = plan_slice_isolation(context, main_core=0, main_bytes=64 * 64, neighbour_bytes=64 * 64)
+        assert plan.main_slice == context.preferred_slice(0)
+        h = context.hash
+        for i in range(plan.main_buffer.n_lines):
+            assert h.slice_of(plan.main_buffer.line_of(i)) == plan.main_slice
+
+    def test_neighbour_excluded_from_main_slice(self, context):
+        plan = plan_slice_isolation(context, main_core=0, main_bytes=64 * 64, neighbour_bytes=256 * 64)
+        h = context.hash
+        for i in range(plan.neighbour_buffer.n_lines):
+            assert h.slice_of(plan.neighbour_buffer.line_of(i)) != plan.main_slice
+
+    def test_neighbour_uses_many_slices(self, context):
+        plan = plan_slice_isolation(context, main_core=0, main_bytes=64 * 64, neighbour_bytes=1024 * 64)
+        slices = {
+            context.hash.slice_of(plan.neighbour_buffer.line_of(i))
+            for i in range(plan.neighbour_buffer.n_lines)
+        }
+        assert len(slices) == 17  # every slice except the isolated one

@@ -1,0 +1,155 @@
+"""Unit tests for the KVS substrate: workload, store, server."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.machines import HASWELL_E5_2667V3
+from repro.core.slice_aware import SliceAwareContext
+from repro.kvs.server import KvsServer, REQUEST_BYTES
+from repro.kvs.store import KvsStore
+from repro.kvs.workload import GetSetMix, UniformKeys, ZipfKeys, zeta, zeta_fast
+
+
+class TestZipfKeys:
+    def test_keys_in_range(self):
+        gen = ZipfKeys(n_keys=1 << 16, theta=0.99, seed=0)
+        keys = gen.keys(10_000)
+        assert keys.min() >= 0
+        assert keys.max() < 1 << 16
+
+    def test_rank_zero_is_hottest(self):
+        gen = ZipfKeys(n_keys=1 << 16, theta=0.99, seed=0, scatter=False)
+        ranks = gen.ranks(50_000)
+        counts = np.bincount(ranks, minlength=10)
+        assert counts[0] == counts.max()
+        assert counts[0] > counts[9] * 2
+
+    def test_skew_concentrates_mass(self):
+        gen = ZipfKeys(n_keys=1 << 20, theta=0.99, seed=1, scatter=False)
+        ranks = gen.ranks(50_000)
+        top_fraction = np.mean(ranks < 1000)
+        assert top_fraction > 0.3  # heavy head
+
+    def test_scatter_spreads_hot_keys(self):
+        scattered = ZipfKeys(n_keys=1 << 16, theta=0.99, seed=0, scatter=True)
+        keys = scattered.keys(10_000)
+        hot = np.bincount(keys, minlength=1 << 16).argmax()
+        assert hot != 0  # hottest key is not key 0 after scattering
+
+    def test_deterministic(self):
+        a = ZipfKeys(1 << 12, seed=4).keys(100)
+        b = ZipfKeys(1 << 12, seed=4).keys(100)
+        assert np.array_equal(a, b)
+
+    def test_zeta_fast_matches_zeta(self):
+        assert zeta_fast(10_000, 0.99) == pytest.approx(zeta(10_000, 0.99))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfKeys(1)
+        with pytest.raises(ValueError):
+            ZipfKeys(100, theta=1.5)
+        with pytest.raises(ValueError):
+            zeta(0, 0.99)
+
+
+class TestUniformKeys:
+    def test_roughly_uniform(self):
+        keys = UniformKeys(100, seed=0).keys(100_000)
+        counts = np.bincount(keys, minlength=100)
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+
+class TestGetSetMix:
+    def test_fraction_respected(self):
+        ops = GetSetMix(0.95).operations(100_000)
+        assert abs(ops.mean() - 0.95) < 0.01
+
+    def test_all_get(self):
+        assert GetSetMix(1.0).operations(1000).all()
+
+    def test_label(self):
+        assert GetSetMix(0.5).label == "50% GET"
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            GetSetMix(1.5)
+
+
+@pytest.fixture(scope="module")
+def small_rig():
+    context = SliceAwareContext(HASWELL_E5_2667V3, seed=0)
+    return context
+
+
+class TestKvsStore:
+    def test_normal_values_contiguous(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=1 << 12, slice_aware=False)
+        assert store.value_address(1) == store.value_address(0) + 64
+
+    def test_slice_aware_values_in_target_slice(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=1 << 10, slice_aware=True)
+        h = small_rig.hash
+        for key in range(0, 1 << 10, 37):
+            assert h.slice_of(store.value_address(key)) == store.target_slice
+
+    def test_normal_values_spread_over_slices(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=1 << 10, slice_aware=False)
+        slices = {small_rig.hash.slice_of(store.value_address(k)) for k in range(64)}
+        assert len(slices) == 8
+
+    def test_index_addresses_line_aligned_and_shared(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=1 << 10, slice_aware=False)
+        assert store.index_address(0) % 64 == 0
+        # 8-byte entries: 8 keys share one index line.
+        assert store.index_address(0) == store.index_address(7)
+        assert store.index_address(0) != store.index_address(8)
+
+    def test_key_bounds(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=16, slice_aware=False)
+        with pytest.raises(KeyError):
+            store.value_address(16)
+        with pytest.raises(KeyError):
+            store.index_address(-1)
+
+
+class TestKvsServer:
+    def test_serving_accumulates_cycles(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=1 << 10, slice_aware=False)
+        server = KvsServer(small_rig, store, core=0)
+        cycles = server.serve_one(5, is_get=True)
+        assert cycles > 0
+        assert server.requests_served == 1
+
+    def test_hot_key_becomes_cheap(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=1 << 10, slice_aware=False)
+        server = KvsServer(small_rig, store, core=0)
+        first = server.serve_one(77, is_get=True)
+        costs = [server.serve_one(77, is_get=True) for _ in range(5)]
+        assert min(costs) < first
+
+    def test_run_reports_tps(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=1 << 10, slice_aware=False)
+        server = KvsServer(small_rig, store, core=0)
+        keys = np.arange(100) % 50
+        ops = np.ones(100, dtype=bool)
+        result = server.run(keys, ops, warmup=10)
+        assert result.requests == 90
+        assert result.tps_millions > 0
+        assert result.cycles_per_request == result.total_cycles / 90
+
+    def test_run_validates_lengths(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=16, slice_aware=False)
+        server = KvsServer(small_rig, store, core=0)
+        with pytest.raises(ValueError):
+            server.run([1, 2], [True])
+        with pytest.raises(ValueError):
+            server.run([1], [True], warmup=1)
+
+    def test_requests_travel_through_ddio(self, small_rig):
+        store = KvsStore(small_rig, core=0, n_keys=16, slice_aware=False)
+        server = KvsServer(small_rig, store, core=0)
+        before = server.ddio.stats.write_lines
+        server.serve_one(1, is_get=True)
+        assert server.ddio.stats.write_lines == before + REQUEST_BYTES // 64

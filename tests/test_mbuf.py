@@ -1,0 +1,107 @@
+"""Unit tests for mbufs."""
+
+import pytest
+
+from repro.dpdk.mbuf import DEFAULT_HEADROOM, MBUF_STRUCT_SIZE, Mbuf
+from repro.mem.address import CACHE_LINE
+
+
+def make_mbuf(buf_len=2176, headroom=DEFAULT_HEADROOM):
+    return Mbuf(pool=None, index=0, base_phys=0x10000, buf_len=buf_len, default_headroom=headroom)
+
+
+class TestGeometry:
+    def test_struct_is_two_lines(self):
+        mbuf = make_mbuf()
+        assert mbuf.struct_lines() == [0x10000, 0x10040]
+        assert MBUF_STRUCT_SIZE == 128
+
+    def test_buffer_follows_struct(self):
+        mbuf = make_mbuf()
+        assert mbuf.buf_phys == 0x10000 + 128
+
+    def test_data_after_headroom(self):
+        mbuf = make_mbuf()
+        assert mbuf.data_phys == mbuf.buf_phys + DEFAULT_HEADROOM
+
+    def test_data_room_and_tailroom(self):
+        mbuf = make_mbuf(buf_len=2176)
+        assert mbuf.data_room == 2176 - 128
+        mbuf.append(100)
+        assert mbuf.tailroom == 2176 - 128 - 100
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            Mbuf(pool=None, index=0, base_phys=0x10010)
+
+    def test_degenerate_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            make_mbuf(buf_len=100, headroom=128)
+
+
+class TestDataOps:
+    def test_append_returns_write_offset(self):
+        mbuf = make_mbuf()
+        first = mbuf.append(64)
+        second = mbuf.append(64)
+        assert first == mbuf.data_phys
+        assert second == mbuf.data_phys + 64
+        assert mbuf.data_len == 128
+
+    def test_append_overflow_raises(self):
+        mbuf = make_mbuf(buf_len=256, headroom=128)
+        mbuf.append(128)
+        with pytest.raises(ValueError):
+            mbuf.append(1)
+
+    def test_data_lines(self):
+        mbuf = make_mbuf()
+        mbuf.append(130)
+        lines = list(mbuf.data_lines())
+        assert len(lines) == 3
+        assert lines[0] == mbuf.data_phys & ~(CACHE_LINE - 1)
+
+    def test_data_lines_empty(self):
+        assert list(make_mbuf().data_lines()) == []
+
+
+class TestHeadroom:
+    def test_set_headroom_moves_data(self):
+        mbuf = make_mbuf()
+        mbuf.set_headroom(DEFAULT_HEADROOM + 3 * CACHE_LINE)
+        assert mbuf.data_phys == mbuf.buf_phys + DEFAULT_HEADROOM + 3 * CACHE_LINE
+
+    def test_set_headroom_requires_line_alignment(self):
+        mbuf = make_mbuf()
+        with pytest.raises(ValueError):
+            mbuf.set_headroom(DEFAULT_HEADROOM + 10)
+
+    def test_set_headroom_bounds(self):
+        mbuf = make_mbuf(buf_len=2176)
+        with pytest.raises(ValueError):
+            mbuf.set_headroom(2176)
+        with pytest.raises(ValueError):
+            mbuf.set_headroom(-64)
+
+    def test_reset_restores_defaults(self):
+        mbuf = make_mbuf()
+        mbuf.set_headroom(DEFAULT_HEADROOM + CACHE_LINE)
+        mbuf.append(100)
+        mbuf.pkt_len = 100
+        mbuf.reset()
+        assert mbuf.headroom == DEFAULT_HEADROOM
+        assert mbuf.data_len == 0
+        assert mbuf.pkt_len == 0
+        assert mbuf.next is None
+
+
+class TestChaining:
+    def test_chain_length(self):
+        a, b, c = make_mbuf(), make_mbuf(), make_mbuf()
+        a.next = b
+        b.next = c
+        assert a.chain_length() == 3
+        assert [seg for seg in a.segments()] == [a, b, c]
+
+    def test_single_segment(self):
+        assert make_mbuf().chain_length() == 1

@@ -1,0 +1,106 @@
+"""Unit tests for mempools."""
+
+import pytest
+
+from repro.dpdk.mempool import Mempool, MempoolEmptyError
+from repro.mem.address import CACHE_LINE, PAGE_1G
+from repro.mem.allocator import ContiguousAllocator
+from repro.mem.hugepage import PhysicalAddressSpace
+
+
+@pytest.fixture
+def allocator():
+    space = PhysicalAddressSpace(seed=0)
+    return ContiguousAllocator(space.mmap_hugepage(PAGE_1G))
+
+
+def make_pool(allocator, n=8, data_room=2048):
+    return Mempool("test", allocator, n_mbufs=n, data_room=data_room)
+
+
+class TestConstruction:
+    def test_elements_line_aligned_and_disjoint(self, allocator):
+        pool = make_pool(allocator, n=16)
+        bases = [m.base_phys for m in pool.mbufs]
+        assert all(b % CACHE_LINE == 0 for b in bases)
+        spans = sorted((b, b + pool.element_size) for b in bases)
+        for (a0, a1), (b0, _) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_capacity(self, allocator):
+        pool = make_pool(allocator, n=8)
+        assert pool.capacity == 8
+        assert pool.available == 8
+        assert pool.in_use == 0
+
+    def test_invalid_count(self, allocator):
+        with pytest.raises(ValueError):
+            make_pool(allocator, n=0)
+
+
+class TestAllocFree:
+    def test_alloc_reduces_available(self, allocator):
+        pool = make_pool(allocator)
+        mbuf = pool.alloc()
+        assert pool.available == 7
+        assert pool.in_use == 1
+        pool.free(mbuf)
+        assert pool.available == 8
+
+    def test_lifo_reuse(self, allocator):
+        """The most recently freed (warmest) element is reused first,
+        like DPDK's per-lcore cache."""
+        pool = make_pool(allocator)
+        mbuf = pool.alloc()
+        pool.free(mbuf)
+        assert pool.alloc() is mbuf
+
+    def test_alloc_resets_state(self, allocator):
+        pool = make_pool(allocator)
+        mbuf = pool.alloc()
+        mbuf.append(100)
+        mbuf.pkt_len = 100
+        pool.free(mbuf)
+        fresh = pool.alloc()
+        assert fresh.data_len == 0
+        assert fresh.pkt_len == 0
+
+    def test_exhaustion(self, allocator):
+        pool = make_pool(allocator, n=2)
+        pool.alloc()
+        pool.alloc()
+        with pytest.raises(MempoolEmptyError):
+            pool.alloc()
+        assert pool.try_alloc() is None
+        assert pool.alloc_failures == 2
+
+    def test_free_chain_returns_all_segments(self, allocator):
+        pool = make_pool(allocator, n=4)
+        head = pool.alloc()
+        tail = pool.alloc()
+        head.next = tail
+        pool.free(head)
+        assert pool.available == 4
+
+    def test_free_foreign_mbuf_rejected(self, allocator):
+        pool_a = make_pool(allocator, n=2)
+        pool_b = make_pool(allocator, n=2)
+        mbuf = pool_a.alloc()
+        with pytest.raises(ValueError):
+            pool_b.free(mbuf)
+
+    def test_alloc_bulk_all_or_nothing(self, allocator):
+        pool = make_pool(allocator, n=4)
+        assert len(pool.alloc_bulk(4)) == 4
+        with pytest.raises(MempoolEmptyError):
+            pool.alloc_bulk(1)
+
+    def test_udata_survives_alloc_free(self, allocator):
+        """CacheDirector pre-computes udata64 once at pool init; the
+        value must survive recycling."""
+        pool = make_pool(allocator, n=2)
+        for mbuf in pool.mbufs:
+            mbuf.udata64 = 0xDEAD
+        m = pool.alloc()
+        pool.free(m)
+        assert pool.alloc().udata64 == 0xDEAD

@@ -1,0 +1,168 @@
+"""Unit tests for hot-data monitoring and slice migration (§8 extension)."""
+
+import pytest
+
+from repro.cachesim.machines import HASWELL_E5_2667V3
+from repro.core.monitor import AccessMonitor, MigratingObjectStore
+from repro.core.slice_aware import SliceAwareContext
+
+
+class TestAccessMonitor:
+    def test_counts_accumulate(self):
+        monitor = AccessMonitor(epoch_accesses=1000)
+        for _ in range(5):
+            monitor.record(7)
+        assert monitor.count(7) == 5.0
+
+    def test_hottest_ordering(self):
+        monitor = AccessMonitor(epoch_accesses=10_000)
+        for key, count in ((1, 10), (2, 30), (3, 20)):
+            for _ in range(count):
+                monitor.record(key)
+        assert monitor.hottest(3) == [2, 3, 1]
+        assert monitor.hottest(1) == [2]
+        assert monitor.hottest(0) == []
+
+    def test_decay_applies_at_epoch(self):
+        monitor = AccessMonitor(decay=0.5, epoch_accesses=10)
+        for _ in range(10):
+            monitor.record(1)
+        assert monitor.count(1) == pytest.approx(5.0)
+        assert monitor.epochs == 1
+
+    def test_cold_keys_expire(self):
+        monitor = AccessMonitor(decay=0.5, epoch_accesses=4)
+        monitor.record(1)
+        for i in range(20):
+            monitor.record(100 + i)  # push epochs
+        assert monitor.count(1) == 0.0
+
+    def test_zero_decay_forgets_everything(self):
+        monitor = AccessMonitor(decay=0.0, epoch_accesses=2)
+        monitor.record(1)
+        monitor.record(2)
+        assert len(monitor) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AccessMonitor(decay=1.5)
+        with pytest.raises(ValueError):
+            AccessMonitor(epoch_accesses=0)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return SliceAwareContext(HASWELL_E5_2667V3, seed=0)
+
+
+class TestMigratingObjectStore:
+    def make(self, context, n_keys=256, fast_lines=16):
+        return MigratingObjectStore(
+            context, core=0, n_keys=n_keys, fast_lines=fast_lines
+        )
+
+    def test_initial_placement_is_normal(self, context):
+        store = self.make(context)
+        h = context.hash
+        slices = {h.slice_of(store.address_of(k)) for k in range(64)}
+        assert len(slices) > 1
+
+    def test_promotion_moves_to_preferred_slice(self, context):
+        store = self.make(context)
+        target = context.preferred_slice(0)
+        assert store.promote(5)
+        assert store.is_promoted(5)
+        assert context.hash.slice_of(store.address_of(5)) == target
+
+    def test_promote_idempotent(self, context):
+        store = self.make(context)
+        store.promote(5)
+        assert store.promote(5)
+        assert store.stats.promotions == 1
+
+    def test_pool_exhaustion(self, context):
+        store = self.make(context, fast_lines=2)
+        assert store.promote(0)
+        assert store.promote(1)
+        assert not store.promote(2)
+
+    def test_demote_restores_normal_address(self, context):
+        store = self.make(context)
+        original = store.address_of(9)
+        store.promote(9)
+        store.demote(9)
+        assert store.address_of(9) == original
+        assert not store.is_promoted(9)
+
+    def test_demote_frees_slot(self, context):
+        store = self.make(context, fast_lines=1)
+        store.promote(0)
+        store.demote(0)
+        assert store.promote(1)
+
+    def test_migration_charges_cycles(self, context):
+        store = self.make(context)
+        before = store.stats.migration_cycles
+        store.promote(3)
+        assert store.stats.migration_cycles > before
+
+    def test_access_records_in_monitor(self, context):
+        store = self.make(context)
+        store.access(11)
+        store.access(11, write=True)
+        assert store.monitor.count(11) == 2.0
+
+    def test_rebalance_promotes_hot_keys(self, context):
+        store = self.make(context, n_keys=128, fast_lines=4)
+        for _ in range(20):
+            store.access(100)
+            store.access(101)
+        for key in range(50):
+            store.access(key)
+        promoted = store.rebalance()
+        assert promoted > 0
+        assert store.is_promoted(100)
+        assert store.is_promoted(101)
+
+    def test_rebalance_demotes_cooled_keys(self, context):
+        store = MigratingObjectStore(
+            context,
+            core=0,
+            n_keys=128,
+            fast_lines=2,
+            monitor=AccessMonitor(decay=0.0, epoch_accesses=50),
+        )
+        for _ in range(30):
+            store.access(1)
+            store.access(2)
+        store.rebalance()
+        assert store.is_promoted(1)
+        # The hot set moves entirely (decay 0 forgets at each epoch).
+        for _ in range(60):
+            store.access(3)
+            store.access(4)
+        store.rebalance()
+        assert store.is_promoted(3)
+        assert store.is_promoted(4)
+        assert not store.is_promoted(1)
+
+    def test_rebalance_budget_respected(self, context):
+        store = self.make(context, n_keys=128, fast_lines=8)
+        for key in range(8):
+            for _ in range(10):
+                store.access(key)
+        store.rebalance(budget=3)
+        assert store.stats.promotions <= 3
+
+    def test_key_bounds(self, context):
+        store = self.make(context, n_keys=4)
+        with pytest.raises(KeyError):
+            store.access(4)
+        with pytest.raises(KeyError):
+            store.promote(-1)
+
+    def test_invalid_construction(self, context):
+        with pytest.raises(ValueError):
+            MigratingObjectStore(context, 0, n_keys=0, fast_lines=1)
+        with pytest.raises(ValueError):
+            MigratingObjectStore(context, 0, n_keys=1, fast_lines=0)

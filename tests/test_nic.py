@@ -1,0 +1,144 @@
+"""Unit tests for the NIC model and its CacheDirector integration."""
+
+import pytest
+
+from repro.cachesim.ddio import DdioEngine
+from repro.cachesim.machines import HASWELL_E5_2667V3, build_hierarchy
+from repro.core.cache_director import CacheDirector
+from repro.dpdk.mempool import Mempool
+from repro.dpdk.nic import Nic
+from repro.mem.address import CACHE_LINE, PAGE_1G
+from repro.mem.allocator import ContiguousAllocator
+from repro.mem.hugepage import PhysicalAddressSpace
+from repro.net.packet import FiveTuple, Packet
+
+
+@pytest.fixture
+def rig():
+    hierarchy = build_hierarchy(HASWELL_E5_2667V3)
+    space = PhysicalAddressSpace(seed=0)
+    allocator = ContiguousAllocator(space.mmap_hugepage(PAGE_1G))
+    ddio = DdioEngine(hierarchy)
+    return hierarchy, allocator, ddio
+
+
+def make_nic(allocator, ddio, n_mbufs=32, director=None, data_room=2048, ring=16):
+    pool = Mempool("rx", allocator, n_mbufs=n_mbufs, data_room=data_room)
+    return Nic(
+        n_queues=8,
+        mempool=pool,
+        ddio=ddio,
+        allocator=allocator,
+        cache_director=director,
+        rx_ring_size=ring,
+    )
+
+
+def packet(size=64, flow_id=1):
+    return Packet(size=size, flow=FiveTuple(flow_id, 2, 3, 4, 6))
+
+
+class TestRxPath:
+    def test_deliver_posts_to_ring(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio)
+        mbuf = nic.deliver(packet(), 64, queue=0)
+        assert mbuf is not None
+        assert len(nic.rx_rings[0]) == 1
+        assert mbuf.pkt_len == 64
+        assert nic.stats.rx_packets == 1
+
+    def test_packet_data_reaches_llc_via_ddio(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio)
+        mbuf = nic.deliver(packet(size=128), 128, queue=0)
+        for line in mbuf.data_lines():
+            assert hierarchy.llc.contains(line)
+
+    def test_descriptor_written_via_ddio(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio)
+        nic.deliver(packet(), 64, queue=3)
+        descriptor = nic.descriptor_line(3, 0)
+        assert hierarchy.llc.contains(descriptor)
+
+    def test_pool_exhaustion_drops(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio, n_mbufs=2)
+        assert nic.deliver(packet(), 64, 0) is not None
+        assert nic.deliver(packet(), 64, 0) is not None
+        assert nic.deliver(packet(), 64, 0) is None
+        assert nic.stats.rx_drops_no_mbuf == 1
+
+    def test_ring_full_drops(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio, n_mbufs=64, ring=16)
+        for _ in range(16):
+            assert nic.deliver(packet(), 64, 0) is not None
+        assert nic.deliver(packet(), 64, 0) is None
+        assert nic.stats.rx_drops_ring_full == 1
+
+    def test_large_packet_chains_mbufs(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio, data_room=512)
+        mbuf = nic.deliver(packet(size=1500), 1500, queue=0)
+        assert mbuf is not None
+        assert mbuf.chain_length() > 1
+        assert sum(seg.data_len for seg in mbuf.segments()) == 1500
+
+    def test_invalid_length(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio)
+        with pytest.raises(ValueError):
+            nic.deliver(packet(), 0, 0)
+
+
+class TestTxPath:
+    def test_transmit_frees_buffers(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio)
+        before = nic.mempool.available
+        mbuf = nic.deliver(packet(), 64, 0)
+        nic.rx_rings[0].dequeue()
+        nic.transmit(mbuf)
+        assert nic.mempool.available == before
+        assert nic.stats.tx_packets == 1
+
+    def test_transmit_reads_via_ddio(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio)
+        mbuf = nic.deliver(packet(size=128), 128, 0)
+        reads_before = ddio.stats.read_lines
+        nic.transmit(mbuf)
+        assert ddio.stats.read_lines > reads_before
+
+
+class TestCacheDirectorOnRx:
+    def test_header_lands_in_polling_cores_slice(self, rig):
+        hierarchy, allocator, ddio = rig
+        director = CacheDirector(
+            hierarchy.llc.hash, core_to_slice=list(range(8))
+        )
+        nic = make_nic(allocator, ddio, director=director, data_room=2048 + 7 * CACHE_LINE)
+        for queue in range(8):
+            mbuf = nic.deliver(packet(flow_id=queue), 64, queue)
+            header_line = mbuf.data_phys & ~(CACHE_LINE - 1)
+            assert hierarchy.llc.slice_of(header_line) == queue
+            # And it is really cached there.
+            assert hierarchy.llc.slices[queue].contains(header_line)
+
+    def test_without_director_headers_scatter(self, rig):
+        hierarchy, allocator, ddio = rig
+        nic = make_nic(allocator, ddio, n_mbufs=64, ring=64)
+        slices = set()
+        for i in range(32):
+            mbuf = nic.deliver(packet(flow_id=i), 64, queue=0)
+            assert mbuf is not None
+            slices.add(hierarchy.llc.slice_of(mbuf.data_phys))
+        assert len(slices) > 1  # no steering
+
+    def test_udata_precomputed_at_init(self, rig):
+        hierarchy, allocator, ddio = rig
+        director = CacheDirector(hierarchy.llc.hash, core_to_slice=list(range(8)))
+        nic = make_nic(allocator, ddio, director=director)
+        assert all(m.udata64 != 0 for m in nic.mempool.mbufs[:8])

@@ -1,0 +1,87 @@
+"""Unit tests for the poll-mode driver."""
+
+import pytest
+
+from repro.cachesim.ddio import DdioEngine
+from repro.cachesim.machines import HASWELL_E5_2667V3, build_hierarchy
+from repro.dpdk.mempool import Mempool
+from repro.dpdk.nic import Nic
+from repro.dpdk.pmd import PmdCosts, PollModeDriver
+from repro.mem.address import PAGE_1G
+from repro.mem.allocator import ContiguousAllocator
+from repro.mem.hugepage import PhysicalAddressSpace
+from repro.net.packet import FiveTuple, Packet
+
+
+@pytest.fixture
+def rig():
+    hierarchy = build_hierarchy(HASWELL_E5_2667V3)
+    space = PhysicalAddressSpace(seed=0)
+    allocator = ContiguousAllocator(space.mmap_hugepage(PAGE_1G))
+    pool = Mempool("rx", allocator, n_mbufs=64)
+    nic = Nic(
+        n_queues=8,
+        mempool=pool,
+        ddio=DdioEngine(hierarchy),
+        allocator=allocator,
+    )
+    return hierarchy, nic, PollModeDriver(nic, hierarchy)
+
+
+def packet(flow_id=1):
+    return Packet(size=64, flow=FiveTuple(flow_id, 2, 3, 4, 6))
+
+
+class TestRxBurst:
+    def test_empty_poll_costs_descriptor_read(self, rig):
+        hierarchy, nic, pmd = rig
+        mbufs, cycles = pmd.rx_burst(0)
+        assert mbufs == []
+        assert cycles >= pmd.costs.rx_per_burst
+
+    def test_receives_delivered_packets(self, rig):
+        hierarchy, nic, pmd = rig
+        nic.deliver(packet(1), 64, 0)
+        nic.deliver(packet(2), 64, 0)
+        mbufs, cycles = pmd.rx_burst(0)
+        assert len(mbufs) == 2
+        assert cycles > 2 * pmd.costs.rx_per_packet
+
+    def test_burst_limit(self, rig):
+        hierarchy, nic, pmd = rig
+        for i in range(5):
+            nic.deliver(packet(i), 64, 0)
+        mbufs, _ = pmd.rx_burst(0, max_packets=3)
+        assert len(mbufs) == 3
+        assert len(nic.rx_rings[0]) == 2
+
+    def test_charges_polling_core(self, rig):
+        hierarchy, nic, pmd = rig
+        nic.deliver(packet(), 64, 3)
+        reads_before = hierarchy.stats.reads
+        pmd.rx_burst(3)
+        assert hierarchy.stats.reads > reads_before
+
+
+class TestTxBurst:
+    def test_transmits_and_frees(self, rig):
+        hierarchy, nic, pmd = rig
+        nic.deliver(packet(), 64, 0)
+        mbufs, _ = pmd.rx_burst(0)
+        available_before = nic.mempool.available
+        cycles = pmd.tx_burst(0, mbufs)
+        assert cycles >= pmd.costs.tx_per_burst + pmd.costs.tx_per_packet
+        assert nic.mempool.available == available_before + 1
+        assert nic.stats.tx_packets == 1
+
+    def test_empty_tx(self, rig):
+        hierarchy, nic, pmd = rig
+        assert pmd.tx_burst(0, []) == pmd.costs.tx_per_burst
+
+
+class TestCosts:
+    def test_custom_costs(self, rig):
+        hierarchy, nic, _ = rig
+        pmd = PollModeDriver(nic, hierarchy, costs=PmdCosts(rx_per_burst=1000))
+        _, cycles = pmd.rx_burst(0)
+        assert cycles >= 1000

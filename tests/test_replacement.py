@@ -1,0 +1,113 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cachesim.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+
+
+class TestLruPolicy:
+    def test_victim_is_least_recent(self):
+        lru = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            lru.touch(way)
+        lru.touch(0)
+        assert lru.victim(range(4)) == 1
+
+    def test_untouched_way_preferred(self):
+        lru = LruPolicy(4)
+        lru.touch(0)
+        lru.touch(1)
+        assert lru.victim(range(4)) in (2, 3)
+
+    def test_victim_respects_mask(self):
+        lru = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            lru.touch(way)
+        assert lru.victim([2, 3]) == 2
+
+    def test_reset_counts_as_touch(self):
+        lru = LruPolicy(2)
+        lru.reset(0)
+        lru.reset(1)
+        assert lru.victim([0, 1]) == 0
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            LruPolicy(4).victim([])
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)
+
+    def test_full_sequence(self):
+        lru = LruPolicy(3)
+        order = [2, 0, 1, 2, 0]  # LRU order after: 1, 2, 0
+        for way in order:
+            lru.touch(way)
+        assert lru.victim(range(3)) == 1
+
+
+class TestTreePlru:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePlruPolicy(3)
+
+    def test_single_way_cache(self):
+        plru = TreePlruPolicy(1)
+        plru.touch(0)
+        assert plru.victim([0]) == 0
+
+    def test_victim_avoids_most_recent(self):
+        plru = TreePlruPolicy(4)
+        plru.touch(2)
+        assert plru.victim(range(4)) != 2
+
+    def test_victim_in_mask(self):
+        plru = TreePlruPolicy(8)
+        for way in range(8):
+            plru.touch(way)
+        for mask in ([0], [7], [1, 3], [4, 5, 6]):
+            assert plru.victim(mask) in mask
+
+    def test_approximates_lru_on_cyclic_touches(self):
+        plru = TreePlruPolicy(4)
+        plru.touch(0)
+        plru.touch(1)
+        plru.touch(2)
+        plru.touch(3)
+        # After touching everything in order, way 0 is the plru victim.
+        assert plru.victim(range(4)) == 0
+
+
+class TestRandomPolicy:
+    def test_victim_in_mask(self):
+        rnd = RandomPolicy(8, seed=1)
+        for _ in range(50):
+            assert rnd.victim([2, 5]) in (2, 5)
+
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(8, seed=3)
+        b = RandomPolicy(8, seed=3)
+        assert [a.victim(range(8)) for _ in range(20)] == [
+            b.victim(range(8)) for _ in range(20)
+        ]
+
+    def test_covers_all_ways_eventually(self):
+        rnd = RandomPolicy(4, seed=0)
+        seen = {rnd.victim(range(4)) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LruPolicy), ("plru", TreePlruPolicy), ("random", RandomPolicy)])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 8), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("fifo", 8)

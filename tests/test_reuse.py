@@ -1,0 +1,126 @@
+"""Tests for reuse-distance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.stats.reuse import (
+    hit_rate_at,
+    hit_rate_curve,
+    miss_ratio_curve_points,
+    reuse_distances,
+)
+
+
+def brute_force_distances(keys):
+    out = []
+    for i, key in enumerate(keys):
+        previous = None
+        for j in range(i - 1, -1, -1):
+            if keys[j] == key:
+                previous = j
+                break
+        if previous is None:
+            out.append(-1)
+        else:
+            out.append(len(set(keys[previous + 1 : i])))
+    return np.array(out)
+
+
+class TestReuseDistances:
+    def test_simple_stream(self):
+        # a b a -> a's second access sees 1 distinct key (b).
+        assert list(reuse_distances([1, 2, 1])) == [-1, -1, 1]
+
+    def test_immediate_rereference(self):
+        assert list(reuse_distances([5, 5])) == [-1, 0]
+
+    def test_all_cold(self):
+        assert list(reuse_distances([1, 2, 3])) == [-1, -1, -1]
+
+    def test_matches_brute_force_random(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 20, 300)
+        assert np.array_equal(reuse_distances(keys), brute_force_distances(keys))
+
+    def test_matches_brute_force_zipfish(self):
+        rng = np.random.default_rng(1)
+        keys = (rng.pareto(1.0, 400) * 3).astype(int)
+        assert np.array_equal(reuse_distances(keys), brute_force_distances(keys))
+
+    def test_empty(self):
+        assert reuse_distances([]).size == 0
+
+
+class TestHitRates:
+    def test_lru_semantics(self):
+        # Stream: 1 2 1 with capacity 1: the re-access to 1 has
+        # distance 1 -> miss; capacity 2 -> hit.
+        distances = reuse_distances([1, 2, 1])
+        assert hit_rate_at(distances, 1) == 0.0
+        assert hit_rate_at(distances, 2) == pytest.approx(1 / 3)
+
+    def test_matches_actual_lru_cache_simulation(self):
+        """Mattson's property: hit rate at capacity C equals an actual
+        C-entry LRU cache's hit rate on the same stream."""
+        rng = np.random.default_rng(2)
+        keys = rng.zipf(1.3, 2000) % 200
+        distances = reuse_distances(keys)
+        for capacity in (4, 16, 64):
+            cache = {}
+            clock = 0
+            hits = 0
+            for key in keys:
+                clock += 1
+                if key in cache:
+                    hits += 1
+                else:
+                    if len(cache) >= capacity:
+                        victim = min(cache, key=cache.get)
+                        del cache[victim]
+                cache[key] = clock
+            assert hit_rate_at(distances, capacity) == pytest.approx(
+                hits / len(keys)
+            )
+
+    def test_curve_is_monotone(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 100, 3000)
+        distances = reuse_distances(keys)
+        curve = hit_rate_curve(distances, [1, 2, 4, 8, 16, 32, 64, 128])
+        assert curve == sorted(curve)
+
+    def test_miss_ratio_points(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 50, 1000)
+        distances = reuse_distances(keys)
+        points = miss_ratio_curve_points(distances, 64, points=8)
+        capacities = [c for c, _ in points]
+        misses = [m for _, m in points]
+        assert capacities == sorted(capacities)
+        assert all(0.0 <= m <= 1.0 for m in misses)
+        assert misses == sorted(misses, reverse=True)
+
+    def test_validation(self):
+        distances = reuse_distances([1, 1])
+        with pytest.raises(ValueError):
+            hit_rate_at(distances, 0)
+        with pytest.raises(ValueError):
+            hit_rate_at(np.array([]), 4)
+        with pytest.raises(ValueError):
+            miss_ratio_curve_points(distances, 1)
+
+
+class TestFig8CapacityAnalysis:
+    def test_zipf_slice_vs_llc_hit_gap(self):
+        """The EXPERIMENTS.md Fig. 8 argument, computed: for
+        Zipf(0.99) over a large key space, one slice's worth of lines
+        captures measurably less of the stream than the whole LLC."""
+        from repro.kvs.workload import ZipfKeys
+
+        keys = ZipfKeys(1 << 20, 0.99, seed=0).keys(60_000)
+        distances = reuse_distances(keys)
+        slice_capacity = 41_000 // 16   # scaled with the keyspace
+        llc_capacity = 330_000 // 16
+        slice_rate = hit_rate_at(distances, slice_capacity)
+        llc_rate = hit_rate_at(distances, llc_capacity)
+        assert llc_rate > slice_rate + 0.02

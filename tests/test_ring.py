@@ -1,0 +1,59 @@
+"""Unit tests for rings."""
+
+import pytest
+
+from repro.dpdk.ring import Ring
+
+
+class TestRing:
+    def test_fifo_order(self):
+        ring = Ring(8)
+        for i in range(5):
+            ring.enqueue(i)
+        assert [ring.dequeue() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            Ring(10)
+
+    def test_full_ring_rejects(self):
+        ring = Ring(2)
+        assert ring.enqueue(1)
+        assert ring.enqueue(2)
+        assert not ring.enqueue(3)
+        assert ring.enqueue_drops == 1
+        assert ring.full
+
+    def test_dequeue_empty(self):
+        ring = Ring(2)
+        assert ring.dequeue() is None
+        assert ring.empty
+
+    def test_burst_enqueue_partial(self):
+        ring = Ring(4)
+        taken = ring.enqueue_burst(list(range(6)))
+        assert taken == 4
+        assert len(ring) == 4
+
+    def test_burst_dequeue(self):
+        ring = Ring(8)
+        ring.enqueue_burst([1, 2, 3])
+        assert ring.dequeue_burst(2) == [1, 2]
+        assert ring.dequeue_burst(5) == [3]
+        assert ring.dequeue_burst(1) == []
+
+    def test_burst_dequeue_invalid(self):
+        with pytest.raises(ValueError):
+            Ring(2).dequeue_burst(0)
+
+    def test_peek(self):
+        ring = Ring(4)
+        assert ring.peek() is None
+        ring.enqueue("a")
+        assert ring.peek() == "a"
+        assert len(ring) == 1
+
+    def test_free_count(self):
+        ring = Ring(4)
+        ring.enqueue(1)
+        assert ring.free_count == 3

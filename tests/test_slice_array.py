@@ -1,0 +1,94 @@
+"""Unit tests for O(1) slice-local arrays."""
+
+import pytest
+
+from repro.cachesim.hashfn import ModularSliceHash, haswell_complex_hash
+from repro.mem.address import CACHE_LINE
+from repro.mem.slice_array import SliceLocalArray
+
+
+class TestSliceLocalArray:
+    def test_every_line_in_target_slice_xor_hash(self):
+        h = haswell_complex_hash(8)
+        array = SliceLocalArray(0, 256, h, target_slice=3, block_lines=8)
+        for i in range(256):
+            assert h.slice_of(array.line_address(i)) == 3
+
+    def test_every_line_in_target_slice_modular_hash(self):
+        h = ModularSliceHash(18)
+        array = SliceLocalArray(0, 128, h, target_slice=7, block_lines=18)
+        for i in range(128):
+            assert h.slice_of(array.line_address(i)) == 7
+
+    def test_lines_are_distinct(self):
+        h = haswell_complex_hash(8)
+        array = SliceLocalArray(0, 512, h, target_slice=0, block_lines=8)
+        addresses = {array.line_address(i) for i in range(512)}
+        assert len(addresses) == 512
+
+    def test_line_in_its_block(self):
+        h = haswell_complex_hash(8)
+        array = SliceLocalArray(0, 64, h, target_slice=1, block_lines=8)
+        for i in range(64):
+            address = array.line_address(i)
+            assert i * array.block_bytes <= address < (i + 1) * array.block_bytes
+
+    def test_memoisation_consistency(self):
+        h = haswell_complex_hash(8)
+        array = SliceLocalArray(0, 16, h, target_slice=2, block_lines=8)
+        first = [array.line_address(i) for i in range(16)]
+        second = [array.line_address(i) for i in range(16)]
+        assert first == second
+
+    def test_out_of_range_index(self):
+        h = haswell_complex_hash(8)
+        array = SliceLocalArray(0, 4, h, target_slice=0, block_lines=8)
+        with pytest.raises(IndexError):
+            array.line_address(4)
+        with pytest.raises(IndexError):
+            array.line_address(-1)
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            SliceLocalArray(10, 4, haswell_complex_hash(8), 0)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            SliceLocalArray(0, 0, haswell_complex_hash(8), 0)
+
+    def test_span(self):
+        h = haswell_complex_hash(8)
+        array = SliceLocalArray(0, 100, h, target_slice=0, block_lines=8)
+        assert array.span_bytes == 100 * 8 * CACHE_LINE
+
+    def test_probe_exhaustion_raises(self):
+        class StubbornHash:
+            n_slices = 4
+
+            def slice_of(self, address):
+                return 0
+
+        array = SliceLocalArray(0, 4, StubbornHash(), target_slice=3, block_lines=8)
+        with pytest.raises(LookupError):
+            array.line_address(0)
+
+    def test_nonzero_base(self):
+        h = haswell_complex_hash(8)
+        base = 1 << 30
+        array = SliceLocalArray(base, 32, h, target_slice=5, block_lines=8)
+        for i in range(32):
+            address = array.line_address(i)
+            assert address >= base
+            assert h.slice_of(address) == 5
+
+    def test_set_balance_of_dense_allocation(self):
+        """Full-density slice-local arrays load LLC sets evenly — the
+        property that keeps Fig. 6/7 free of self-conflict misses."""
+        h = haswell_complex_hash(8)
+        n = 4096
+        array = SliceLocalArray(0, n, h, target_slice=0, block_lines=8)
+        counts = {}
+        for i in range(n):
+            set_index = (array.line_address(i) >> 6) & 2047
+            counts[set_index] = counts.get(set_index, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 2

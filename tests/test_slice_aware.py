@@ -1,0 +1,100 @@
+"""Unit tests for the slice-aware memory management API."""
+
+import pytest
+
+from repro.cachesim.machines import HASWELL_E5_2667V3, SKYLAKE_GOLD_6134
+from repro.core.slice_aware import LinearBuffer, SliceAwareContext
+from repro.mem.address import CACHE_LINE
+
+
+@pytest.fixture(scope="module")
+def context():
+    return SliceAwareContext(HASWELL_E5_2667V3, seed=0)
+
+
+class TestPlacementPolicy:
+    def test_preferred_slice_is_own_slice_on_haswell(self, context):
+        for core in range(8):
+            assert context.preferred_slice(core) == core
+
+    def test_preferred_slices_sorted_by_latency(self, context):
+        interconnect = context.hierarchy.llc.interconnect
+        order = context.preferred_slices(0)
+        latencies = [interconnect.latency(0, s) for s in order]
+        assert latencies == sorted(latencies)
+
+    def test_preferred_slices_count(self, context):
+        assert len(context.preferred_slices(0, count=3)) == 3
+
+    def test_skylake_preferred_matches_table4(self):
+        ctx = SliceAwareContext(SKYLAKE_GOLD_6134, seed=0)
+        assert ctx.preferred_slice(0) == 0
+        assert ctx.preferred_slice(6) == 3
+
+
+class TestAllocation:
+    def test_normal_allocation_is_contiguous(self, context):
+        buf = context.allocate_normal(1024)
+        assert isinstance(buf, LinearBuffer)
+        assert buf.address_of(100) == buf.base + 100
+        assert buf.n_lines == 16
+
+    def test_normal_allocation_spreads_over_slices(self, context):
+        buf = context.allocate_normal(64 * CACHE_LINE)
+        slices = {context.hash.slice_of(buf.line_of(i)) for i in range(64)}
+        assert len(slices) == 8
+
+    def test_slice_aware_by_core(self, context):
+        buf = context.allocate_slice_aware(32 * CACHE_LINE, core=2)
+        assert all(s == 2 for s in buf.slice_indices)
+        for i in range(buf.n_lines):
+            assert context.hash.slice_of(buf.line_of(i)) == 2
+
+    def test_slice_aware_by_explicit_slices(self, context):
+        buf = context.allocate_slice_aware(16 * CACHE_LINE, slice_indices=[1, 3])
+        assert set(buf.slice_indices) == {1, 3}
+
+    def test_exactly_one_placement_arg(self, context):
+        with pytest.raises(ValueError):
+            context.allocate_slice_aware(64)
+        with pytest.raises(ValueError):
+            context.allocate_slice_aware(64, core=0, slice_indices=[1])
+
+    def test_allocate_lines(self, context):
+        lines = context.allocate_lines(8, 4)
+        assert all(context.hash.slice_of(a) == 4 for a in lines)
+
+    def test_virt_to_phys_of_own_buffer(self, context):
+        buf = context.allocate_normal(64)
+        assert context.virt_to_phys(buf.virt_base) == buf.base
+
+    def test_slice_of_virt(self, context):
+        buf = context.allocate_slice_aware(4 * CACHE_LINE, slice_indices=[6])
+        assert context.slice_of_virt(buf.virt_line_of(0)) == 6
+
+
+class TestLinearBuffer:
+    def test_bounds(self):
+        buf = LinearBuffer(base=0x1000, size=100)
+        with pytest.raises(IndexError):
+            buf.address_of(100)
+        with pytest.raises(IndexError):
+            buf.line_of(2)
+
+    def test_line_of(self):
+        buf = LinearBuffer(base=0x1000, size=200)
+        assert buf.line_of(1) == 0x1040
+        assert buf.n_lines == 4
+
+
+class TestIntegrationWithHierarchy:
+    def test_slice_aware_lines_hit_their_slice_in_llc(self, context):
+        """End to end: allocate slice-aware, access, verify the line is
+        cached in exactly the promised slice."""
+        buf = context.allocate_slice_aware(4 * CACHE_LINE, core=1)
+        hierarchy = context.hierarchy
+        for i in range(4):
+            hierarchy.read(1, buf.line_of(i))
+        llc = hierarchy.llc
+        for i in range(4):
+            assert llc.slices[1].contains(buf.line_of(i))

@@ -1,0 +1,101 @@
+"""Tests for application-level mbuf sorting (§4.2's alternative design)."""
+
+import pytest
+
+from repro.cachesim.hashfn import haswell_complex_hash
+from repro.dpdk.mempool import Mempool, MempoolEmptyError
+from repro.dpdk.sorted_pools import (
+    PerCorePools,
+    slice_of_mbuf,
+    sort_mbufs_by_slice,
+)
+from repro.mem.address import PAGE_1G
+from repro.mem.allocator import ContiguousAllocator
+from repro.mem.hugepage import PhysicalAddressSpace
+
+
+@pytest.fixture
+def rig():
+    space = PhysicalAddressSpace(seed=0)
+    allocator = ContiguousAllocator(space.mmap_hugepage(PAGE_1G))
+    pool = Mempool("big", allocator, n_mbufs=256)
+    return pool, haswell_complex_hash(8)
+
+
+class TestSorting:
+    def test_groups_cover_pool(self, rig):
+        pool, h = rig
+        groups = sort_mbufs_by_slice(pool, h)
+        assert sum(len(g) for g in groups.values()) == 256
+        assert pool.available == 0  # pool drained into the groups
+
+    def test_groups_are_slice_pure(self, rig):
+        pool, h = rig
+        groups = sort_mbufs_by_slice(pool, h)
+        for slice_index, mbufs in groups.items():
+            for mbuf in mbufs:
+                assert h.slice_of(mbuf.data_phys) == slice_index
+
+    def test_groups_roughly_balanced(self, rig):
+        pool, h = rig
+        groups = sort_mbufs_by_slice(pool, h)
+        sizes = [len(g) for g in groups.values()]
+        assert min(sizes) > 0
+        assert max(sizes) <= 4 * min(sizes)
+
+
+class TestPerCorePools:
+    def make(self, rig):
+        pool, h = rig
+        groups = sort_mbufs_by_slice(pool, h)
+        return PerCorePools(core_to_slice=list(range(8)), groups=groups), h
+
+    def test_alloc_returns_matched_mbuf(self, rig):
+        pools, h = self.make(rig)
+        for core in range(8):
+            mbuf = pools.alloc(core)
+            assert h.slice_of(mbuf.data_phys) == core
+
+    def test_alloc_resets_mbuf(self, rig):
+        pools, h = self.make(rig)
+        mbuf = pools.alloc(0)
+        mbuf.append(100)
+        pools.free(mbuf, h)
+        fresh = pools.alloc(0)
+        assert fresh.data_len == 0
+
+    def test_free_returns_to_matching_core(self, rig):
+        pools, h = self.make(rig)
+        before = pools.available(3)
+        mbuf = pools.alloc(3)
+        assert pools.available(3) == before - 1
+        pools.free(mbuf, h)
+        assert pools.available(3) == before
+
+    def test_exhaustion_raises_without_fallback(self, rig):
+        pools, h = self.make(rig)
+        while pools.available(0):
+            pools.alloc(0)
+        assert not pools.fallback
+        with pytest.raises(MempoolEmptyError):
+            pools.alloc(0)
+
+    def test_fallback_used_for_unclaimed_slices(self, rig):
+        pool, h = rig
+        groups = sort_mbufs_by_slice(pool, h)
+        # Only 2 cores; slices 2..7 are unclaimed -> fallback.
+        pools = PerCorePools(core_to_slice=[0, 1], groups=groups)
+        assert len(pools.fallback) > 0
+        while pools.available(0):
+            pools.alloc(0)
+        mbuf = pools.alloc(0)  # served from fallback
+        assert pools.fallback_allocations == 1
+        assert mbuf is not None
+
+    def test_slice_of_mbuf_tracks_headroom(self, rig):
+        pool, h = rig
+        mbuf = pool.alloc()
+        before = slice_of_mbuf(mbuf, h)
+        mbuf.set_headroom(mbuf.headroom + 64)
+        after = slice_of_mbuf(mbuf, h)
+        assert before != after  # adjacent lines map to different slices

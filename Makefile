@@ -2,13 +2,18 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full quick examples figures clean
+.PHONY: install test diff-test bench bench-full quick examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PY) -m pytest tests/ -q
+
+# Fast-vs-reference engine equivalence: the differential replay harness
+# plus the hypothesis property suite (see docs/MODEL.md).
+diff-test:
+	$(PY) -m pytest tests/ -q -m differential
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q -s

@@ -1,5 +1,7 @@
 """Benchmark: Fig. 13 — forwarding, mixed sizes @ 100 Gbps, RSS."""
 
+from conftest import at_full_scale
+
 from repro.experiments.fig13_forwarding import format_fig13
 
 
@@ -15,8 +17,10 @@ def test_fig13_forwarding_100g(benchmark, fig13_results):
         assert imp[f"p{q}_abs"] > 0.0
     assert imp["mean_abs"] > 0.0
     # Throughput ceiling near the paper's ~76 Gbps, CacheDirector a
-    # little higher (Table 3's 'improvement' column).
-    assert 60.0 < base.achieved_gbps < 90.0
+    # little higher (Table 3's 'improvement' column).  The ceiling only
+    # emerges with full-scale bulk traffic (queues must saturate).
+    if at_full_scale():
+        assert 60.0 < base.achieved_gbps < 90.0
     assert cd.achieved_gbps > base.achieved_gbps
     benchmark.extra_info["achieved_gbps"] = base.achieved_gbps
     benchmark.extra_info["improvement_us"] = {q: imp[f"p{q}_abs"] for q in (75, 90, 95, 99)}

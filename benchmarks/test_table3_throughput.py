@@ -1,5 +1,7 @@
 """Benchmark: Table 3 — throughput + improvement at 100 Gbps offered."""
 
+from conftest import at_full_scale
+
 from repro.experiments.tables import format_table3, table3_rows
 
 
@@ -13,7 +15,10 @@ def test_table3_throughput(benchmark, fig13_results, fig14_results):
     # Paper: 76.58 and 75.94 Gbps — both pinned just above 75 Gbps by
     # the NIC/PCIe path, forwarding slightly ahead of the chain; and
     # CacheDirector adds a small positive throughput improvement.
-    assert 60.0 < chain.throughput_gbps <= forwarding.throughput_gbps < 90.0
+    # The absolute ceiling and the chain-vs-forwarding ordering both
+    # need the queues saturated, i.e. full-scale bulk traffic.
+    if at_full_scale():
+        assert 60.0 < chain.throughput_gbps <= forwarding.throughput_gbps < 90.0
     assert forwarding.improvement_mbps > 0
     assert chain.improvement_mbps > 0
     benchmark.extra_info["rows"] = [

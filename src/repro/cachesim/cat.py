@@ -45,6 +45,10 @@ class CatController:
         self._clos_masks: Dict[int, int] = {0: self._full_mask}
         self._core_clos: List[int] = [0] * n_cores
         self._ways_cache: Dict[int, Tuple[int, ...]] = {}
+        #: Monotonic configuration version; bumped on every CLOS or
+        #: core-association change so cached mask lookups (e.g. the
+        #: fast engine's per-core way tables) can invalidate cheaply.
+        self.generation = 0
 
     def define_clos(self, clos: int, way_mask: int) -> None:
         """Define or redefine a class of service.
@@ -65,6 +69,7 @@ class CatController:
             )
         self._clos_masks[clos] = way_mask
         self._ways_cache.clear()
+        self.generation += 1
 
     def assign_core(self, core: int, clos: int) -> None:
         """Associate *core* with a previously defined CLOS."""
@@ -73,6 +78,7 @@ class CatController:
         if clos not in self._clos_masks:
             raise KeyError(f"CLOS {clos} has not been defined")
         self._core_clos[core] = clos
+        self.generation += 1
 
     def clos_of(self, core: int) -> int:
         """Return the CLOS currently associated with *core*."""
@@ -104,3 +110,4 @@ class CatController:
         self._clos_masks = {0: self._full_mask}
         self._core_clos = [0] * self.n_cores
         self._ways_cache.clear()
+        self.generation += 1

@@ -65,10 +65,17 @@ class DdioEngine:
         """
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
+        hierarchy = self.hierarchy
+        if self.enabled and hierarchy.engine_name == "fast":
+            # Flattened per-span path: identical outcomes, one closure
+            # call per packet instead of three method calls per line
+            # (machine-checked by the differential harness).
+            lines = hierarchy.fast_engine().dma_write_span(address, size)
+            self.stats.write_lines += lines
+            return lines
         first = line_address(address)
         last = line_address(address + size - 1)
         lines = 0
-        hierarchy = self.hierarchy
         for line in range(first, last + CACHE_LINE, CACHE_LINE):
             if self.enabled:
                 hierarchy.dma_fill_line(line)
@@ -87,6 +94,12 @@ class DdioEngine:
         """
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
+        if self.hierarchy.engine_name == "fast":
+            lines, hits = self.hierarchy.fast_engine().dma_read_span(address, size)
+            self.stats.read_lines += lines
+            self.stats.read_hits += hits
+            self.stats.read_misses += lines - hits
+            return lines
         first = line_address(address)
         last = line_address(address + size - 1)
         lines = 0

@@ -1,0 +1,322 @@
+"""Differential testing of the fast batch engine against the reference.
+
+The fast engine (:mod:`repro.cachesim.engine`) promises *bit-identical*
+outcomes to the reference per-access path — same cycles, same servicing
+level, same slice, same eviction and write-back decisions, and the same
+final cache state.  This module makes that promise checkable: it replays
+one randomized trace through two fresh hierarchies, one driven by
+``access_line`` and one by ``access_batch``, optionally injecting "rare"
+events (clflush, DDIO DMA, CAT reconfiguration) between chunks, and
+compares both the per-access outcome streams and deep fingerprints of
+the final state.
+
+The same helpers back ``tests/test_engine_differential.py`` and the
+Hypothesis property tests, so a shrunk counterexample from either can be
+replayed here verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cachesim.ddio import DdioEngine
+from repro.cachesim.hierarchy import CacheHierarchy
+from repro.mem.address import CACHE_LINE
+
+#: Maps ``AccessResult.level`` strings onto the engine's level codes.
+LEVEL_CODES: Dict[str, int] = {"l1": 0, "l2": 1, "llc": 2, "dram": 3}
+
+
+# ----------------------------------------------------------------------
+# Trace generation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Trace:
+    """One randomized access trace (line-aligned addresses)."""
+
+    addresses: List[int]
+    writes: List[bool]
+    cores: List[int]
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def chunks(self, chunk_size: int) -> List[Tuple[List[int], List[bool], List[int]]]:
+        """Split into ``chunk_size``-long pieces (last one may be short)."""
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        out = []
+        for start in range(0, len(self.addresses), chunk_size):
+            stop = start + chunk_size
+            out.append(
+                (
+                    self.addresses[start:stop],
+                    self.writes[start:stop],
+                    self.cores[start:stop],
+                )
+            )
+        return out
+
+
+def random_trace(
+    rng: random.Random,
+    n_accesses: int,
+    n_cores: int,
+    hot_lines: int = 64,
+    hot_fraction: float = 0.5,
+    warm_span: int = 1 << 24,
+    cold_span: int = 1 << 30,
+    write_fraction: float = 0.3,
+) -> Trace:
+    """Build a mixed locality trace: hot reuse, warm region, cold misses.
+
+    The mix deliberately exercises every hierarchy level: the hot set
+    lives in L1/L2, the warm region churns the LLC, and the cold span
+    streams through DRAM (forcing evictions, back-invalidations and
+    dirty write-backs when combined with stores).
+    """
+    hot = [rng.randrange(0, warm_span) & ~(CACHE_LINE - 1) for _ in range(hot_lines)]
+    addresses: List[int] = []
+    writes: List[bool] = []
+    cores: List[int] = []
+    for _ in range(n_accesses):
+        r = rng.random()
+        if r < hot_fraction:
+            address = rng.choice(hot)
+        elif r < (1 + hot_fraction) / 2:
+            address = rng.randrange(0, warm_span) & ~(CACHE_LINE - 1)
+        else:
+            address = rng.randrange(0, cold_span) & ~(CACHE_LINE - 1)
+        addresses.append(address)
+        writes.append(rng.random() < write_fraction)
+        cores.append(rng.randrange(n_cores))
+    return Trace(addresses, writes, cores)
+
+
+# ----------------------------------------------------------------------
+# State fingerprinting
+# ----------------------------------------------------------------------
+
+
+def state_fingerprint(hierarchy: CacheHierarchy) -> dict:
+    """Deep, order-independent digest of all mutable simulator state.
+
+    Covers the aggregate statistics, every per-slice uncore counter,
+    the contents (line, dirty) of every L1/L2 set and every LLC set.
+    Two hierarchies with equal fingerprints are observably identical to
+    any future access sequence except for replacement-order state,
+    which the per-access outcome comparison covers instead.
+    """
+    fp: dict = {"stats": dict(hierarchy.stats.__dict__)}
+    fp["counters"] = [
+        dict(slice_counter.counts)
+        for slice_counter in hierarchy.llc.counters.slices
+    ]
+    for name, caches in (("l1", hierarchy.l1s), ("l2", hierarchy.l2s)):
+        fp[name] = [
+            sorted(cache._sets[i].items())
+            for cache in caches
+            for i in range(len(cache._sets))
+        ]
+    fp["llc"] = [
+        [
+            sorted(
+                (tag, bool(slc._dirty[set_i][way]))
+                for way, tag in enumerate(ways)
+                if tag is not None
+            )
+            for set_i, ways in enumerate(slc._tags)
+        ]
+        for slc in hierarchy.llc.slices
+    ]
+    return fp
+
+
+# ----------------------------------------------------------------------
+# Rare-event injection
+# ----------------------------------------------------------------------
+
+
+def make_rare_events(
+    rng: random.Random,
+    trace: Trace,
+    n_cores: int,
+    n_ways: int,
+) -> List[Callable[[CacheHierarchy], None]]:
+    """Build one randomized rare-event closure per chunk boundary.
+
+    Each closure runs *identically* on both hierarchies, driving the
+    code paths the batch engine deliberately leaves on the reference
+    implementation: clflush, DDIO DMA traffic, and CAT reconfiguration.
+    """
+    lines = trace.addresses
+
+    def clflush_event(address: int, size: int):
+        def run(h: CacheHierarchy) -> None:
+            h.clflush(address, size)
+
+        return run
+
+    def ddio_event(address: int, size: int, is_write: bool):
+        def run(h: CacheHierarchy) -> None:
+            engine = DdioEngine(h)
+            if is_write:
+                engine.dma_write(address, size)
+            else:
+                engine.dma_read(address, size)
+
+        return run
+
+    def cat_event(way_mask: int, assignments: List[int]):
+        def run(h: CacheHierarchy) -> None:
+            cat = h.llc.cat
+            cat.define_clos(1, way_mask)
+            for core, clos in enumerate(assignments):
+                cat.assign_core(core, clos)
+
+        return run
+
+    def cat_reset_event():
+        def run(h: CacheHierarchy) -> None:
+            h.llc.cat.reset()
+
+        return run
+
+    events: List[Callable[[CacheHierarchy], None]] = []
+    kinds = ["clflush", "ddio_write", "ddio_read", "cat", "cat_reset", "none"]
+    for _ in range(max(0, len(lines) - 1)):
+        kind = rng.choice(kinds)
+        address = rng.choice(lines)
+        if kind == "clflush":
+            events.append(clflush_event(address, rng.choice([1, CACHE_LINE, 256])))
+        elif kind == "ddio_write":
+            events.append(ddio_event(address, rng.choice([64, 128, 1500]), True))
+        elif kind == "ddio_read":
+            events.append(ddio_event(address, rng.choice([64, 128]), False))
+        elif kind == "cat":
+            low_half = (1 << max(1, n_ways // 2)) - 1
+            assignments = [rng.randrange(2) for _ in range(n_cores)]
+            events.append(cat_event(low_half, assignments))
+        elif kind == "cat_reset":
+            events.append(cat_reset_event())
+        else:
+            events.append(lambda h: None)
+    return events
+
+
+# ----------------------------------------------------------------------
+# Replay + comparison
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential replay."""
+
+    n_accesses: int
+    equal: bool
+    first_divergence: Optional[int] = None
+    detail: str = ""
+    reference_outcomes: List[Tuple[int, int, int]] = field(default_factory=list)
+    fast_outcomes: List[Tuple[int, int, int]] = field(default_factory=list)
+
+
+def _reference_outcomes(
+    hierarchy: CacheHierarchy,
+    addresses: Sequence[int],
+    writes: Sequence[bool],
+    cores: Sequence[int],
+) -> List[Tuple[int, int, int]]:
+    out = []
+    mask = ~(CACHE_LINE - 1)
+    for address, write, core in zip(addresses, writes, cores):
+        result = hierarchy.access_line(core, address & mask, write)
+        slice_index = result.slice_index if result.slice_index is not None else -1
+        out.append((result.cycles, LEVEL_CODES[result.level], slice_index))
+    return out
+
+
+def _fast_outcomes(
+    hierarchy: CacheHierarchy,
+    addresses: Sequence[int],
+    writes: Sequence[bool],
+    cores: Sequence[int],
+) -> List[Tuple[int, int, int]]:
+    batch = hierarchy.access_batch(addresses, writes, cores, engine="fast")
+    return list(
+        zip(
+            batch.cycles.tolist(),
+            batch.levels.tolist(),
+            batch.slices.tolist(),
+        )
+    )
+
+
+def run_differential(
+    build: Callable[[], CacheHierarchy],
+    trace: Trace,
+    chunk_size: int = 1024,
+    rare_events: Optional[Sequence[Callable[[CacheHierarchy], None]]] = None,
+    keep_outcomes: bool = False,
+) -> DiffReport:
+    """Replay *trace* through reference and fast engines and compare.
+
+    Args:
+        build: zero-argument factory producing a fresh hierarchy (it is
+            called twice; both instances must be identically
+            configured).
+        trace: the access trace to replay.
+        chunk_size: accesses per ``access_batch`` call on the fast
+            side (the reference side always goes line by line).
+        rare_events: optional per-chunk-boundary closures executed on
+            both hierarchies between chunks.
+        keep_outcomes: retain the full outcome streams in the report
+            (useful when printing a divergence).
+
+    Returns:
+        A :class:`DiffReport`; ``equal`` is True only if every
+        per-access outcome matches AND the final state fingerprints
+        (including uncore counters) are identical.
+    """
+    reference = build()
+    fast = build()
+    # Install the fast engine for real on the fast hierarchy so rare
+    # events dispatch exactly as production call sites would (in
+    # particular DdioEngine's flattened DMA spans).
+    fast.set_engine("fast")
+    ref_out: List[Tuple[int, int, int]] = []
+    fast_out: List[Tuple[int, int, int]] = []
+    chunks = trace.chunks(chunk_size)
+    for index, (addresses, writes, cores) in enumerate(chunks):
+        ref_out.extend(_reference_outcomes(reference, addresses, writes, cores))
+        fast_out.extend(_fast_outcomes(fast, addresses, writes, cores))
+        if rare_events is not None and index < len(chunks) - 1:
+            event = rare_events[index % len(rare_events)]
+            event(reference)
+            event(fast)
+    report = DiffReport(n_accesses=len(trace), equal=True)
+    if keep_outcomes:
+        report.reference_outcomes = ref_out
+        report.fast_outcomes = fast_out
+    for i, (r, f) in enumerate(zip(ref_out, fast_out)):
+        if r != f:
+            report.equal = False
+            report.first_divergence = i
+            report.detail = (
+                f"access {i}: reference (cycles, level, slice)={r} "
+                f"!= fast {f} for address "
+                f"{trace.addresses[i]:#x} write={trace.writes[i]} "
+                f"core={trace.cores[i]}"
+            )
+            return report
+    ref_fp = state_fingerprint(reference)
+    fast_fp = state_fingerprint(fast)
+    if ref_fp != fast_fp:
+        report.equal = False
+        diverging = [k for k in ref_fp if ref_fp[k] != fast_fp[k]]
+        report.detail = f"state fingerprints diverge in: {diverging}"
+    return report

@@ -1,0 +1,870 @@
+"""Vectorized batch-access engine for the cache hierarchy.
+
+:class:`FastEngine` is a drop-in accelerator for
+:class:`~repro.cachesim.hierarchy.CacheHierarchy`.  It executes the
+*exact* reference access algorithm — same hits, same victims, same
+cycle accounting, same uncore counter updates — but flattened into one
+closure that manipulates the hierarchy's own data structures directly,
+with everything loop-invariant hoisted out:
+
+* the NUCA latency, write-back and RFO charges are precomputed into
+  per-``(core, slice)`` tables (the reference path recomputes
+  ``base + interconnect.latency(core, slice)`` on every LLC touch);
+* slice indices for a whole batch are computed in one vectorised
+  numpy pass over the address vector (``SliceHash.slice_of_array``)
+  instead of per-access Python parity loops;
+* the per-level cache probes are inlined dict/list operations rather
+  than five layers of method calls, and LRU replacement is inlined
+  when every LLC slice runs the default ``lru`` policy.
+
+Because the engine mutates the *same* ``DictCache``/``WayCache``/
+counter state the reference path uses, rare events that happen
+*between* batches — ``clflush``, CAT mask changes, ``drop_all`` —
+simply run through the reference implementations and interleave
+correctly.  There is no shadow state to synchronise.  NIC DMA traffic
+is *not* rare in the forwarding experiments, so it gets its own
+flattened path (:meth:`FastEngine.dma_write_span` /
+:meth:`~FastEngine.dma_read_span`, dispatched by
+:class:`~repro.cachesim.ddio.DdioEngine` whenever the hierarchy has
+``engine_name == "fast"``), including a private-cache residency
+superset that skips the per-core invalidation snoop for payload lines
+no core ever pulled into an L1/L2.  Within a batch the engine
+covers every event the reference demand path can produce (cascaded
+evictions, inclusive back-invalidations, write-back drains,
+prefetcher activations); anything else falls back to the reference
+methods by construction.
+
+Equivalence is machine-checked by the differential harness
+(:mod:`repro.cachesim.diff` and ``tests/test_engine_differential.py``)
+which replays identical randomized traces through both engines and
+asserts identical per-access outcomes, aggregate statistics, uncore
+counters and final cache contents.
+
+Caveats (checked or documented):
+
+* The engine snapshots the :class:`LatencySpec` values, the CAT
+  generation and the LLC geometry; :meth:`FastEngine.refresh` (called
+  by ``access_batch`` and ``CacheHierarchy.set_engine``) rebuilds the
+  tables when they changed.  Mutating ``hierarchy.latency`` between
+  *scalar* fast calls without re-installing the engine is not
+  supported.
+* Replacement policies other than ``lru`` are driven through their
+  normal ``touch``/``victim``/``reset`` methods — correct for every
+  policy, just without the inlined fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import repeat as _repeat
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cachesim.counters import (
+    EVENT_DDIO_FILLS,
+    EVENT_DDIO_READS,
+    EVENT_EVICTIONS,
+    EVENT_FILLS,
+    EVENT_HITS,
+    EVENT_LOOKUPS,
+    EVENT_MISSES,
+    EVENT_WRITEBACKS,
+)
+from repro.mem.address import CACHE_LINE
+
+#: Level codes used by :class:`BatchResult` (index == depth).
+LEVEL_L1, LEVEL_L2, LEVEL_LLC, LEVEL_DRAM = 0, 1, 2, 3
+
+#: Code → name, matching :class:`~repro.cachesim.hierarchy.AccessResult`.
+LEVEL_NAMES: Tuple[str, ...] = ("l1", "l2", "llc", "dram")
+
+_LINE_MASK = ~(CACHE_LINE - 1)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-access outcomes of one :meth:`FastEngine.access_batch` call.
+
+    Attributes:
+        cycles: stall cycles charged to the issuing core, per access.
+        levels: servicing level codes (:data:`LEVEL_L1` … ``LEVEL_DRAM``).
+        slices: LLC slice index for LLC/DRAM outcomes, ``-1`` for
+            private-cache hits (mirroring ``AccessResult.slice_index``).
+    """
+
+    cycles: np.ndarray
+    levels: np.ndarray
+    slices: np.ndarray
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of all per-access cycle costs."""
+        return int(self.cycles.sum())
+
+    def level_names(self) -> List[str]:
+        """Decode :attr:`levels` into the reference level strings."""
+        return [LEVEL_NAMES[code] for code in self.levels]
+
+
+def _as_bool_list(kinds, n: int) -> List[bool]:
+    """Normalise the *kinds* argument into one bool per access."""
+    if kinds is None:
+        return [False] * n
+    if isinstance(kinds, (bool, int)) and not isinstance(kinds, np.ndarray):
+        return [bool(kinds)] * n
+    out = [bool(k) for k in kinds]
+    if len(out) != n:
+        raise ValueError(f"kinds has {len(out)} entries for {n} addresses")
+    return out
+
+
+def _as_core_list(core, n: int) -> Optional[List[int]]:
+    """Return a per-access core list, or ``None`` for a scalar core."""
+    if isinstance(core, (int, np.integer)):
+        return None
+    out = [int(c) for c in core]
+    if len(out) != n:
+        raise ValueError(f"core has {len(out)} entries for {n} addresses")
+    return out
+
+
+class FastEngine:
+    """Flattened accessor over a hierarchy's shared cache state.
+
+    Args:
+        hierarchy: the hierarchy to accelerate.  The engine keeps no
+            cache contents of its own — every probe and fill mutates
+            the hierarchy's structures in place.
+    """
+
+    def __init__(self, hierarchy) -> None:
+        self.hierarchy = hierarchy
+        self._key: Optional[tuple] = None
+        self._access = None
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Table building / staleness
+    # ------------------------------------------------------------------
+
+    def _snapshot_key(self) -> tuple:
+        h = self.hierarchy
+        lat = h.latency
+        return (
+            id(h.llc),
+            id(h.llc.hash),
+            id(h.llc.interconnect),
+            h.llc.base_latency,
+            h.n_cores,
+            h.inclusive,
+            lat.l1_hit,
+            lat.l2_hit,
+            lat.dram,
+            lat.store_commit,
+            lat.rfo_fraction,
+            lat.wb_l1_visible,
+            lat.wb_llc_fraction,
+            lat.wb_dram_visible,
+        )
+
+    def refresh(self) -> None:
+        """Rebuild the precomputed tables if the hierarchy changed."""
+        if self._snapshot_key() != self._key:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        h = self.hierarchy
+        llc = h.llc
+        lat = h.latency
+        n_cores = h.n_cores
+        n_slices = llc.n_slices
+
+        # --- precomputed latency tables -------------------------------
+        load_lat = [
+            [llc.access_latency(c, s) for s in range(n_slices)]
+            for c in range(n_cores)
+        ]
+        wb_frac = [
+            [int(lat.wb_llc_fraction * load_lat[c][s]) for s in range(n_slices)]
+            for c in range(n_cores)
+        ]
+        rfo_llc = [
+            [int(lat.rfo_fraction * load_lat[c][s]) for s in range(n_slices)]
+            for c in range(n_cores)
+        ]
+        rfo_l2 = int(lat.rfo_fraction * lat.l2_hit)
+        rfo_dram = int(lat.rfo_fraction * lat.dram)
+        l1_hit_lat = lat.l1_hit
+        l2_hit_lat = lat.l2_hit
+        dram_lat = lat.dram
+        store_commit = lat.store_commit
+        wb_l1_visible = lat.wb_l1_visible
+        wb_dram_visible = lat.wb_dram_visible
+        inclusive = h.inclusive
+
+        # --- bindings into the shared state ---------------------------
+        l1_sets = [c._sets for c in h.l1s]
+        l2_sets = [c._sets for c in h.l2s]
+        l1_mask = h.l1s[0]._set_mask
+        l2_mask = h.l2s[0]._set_mask
+        l1_ways = h.l1s[0].n_ways
+        l2_ways = h.l2s[0].n_ways
+        llc_where = [s._where for s in llc.slices]
+        llc_tags = [s._tags for s in llc.slices]
+        llc_dirty = [s._dirty for s in llc.slices]
+        llc_pols = [s._policies for s in llc.slices]
+        llc_mask = llc.slices[0]._set_mask
+        all_ways = llc.slices[0]._all_ways
+        counts = [sc.counts for sc in llc.counters.slices]
+        active_cores = h._active_cores
+        prefetchers = h.prefetchers
+        run_prefetcher = h._run_prefetcher
+        hash_slice_of = llc.hash.slice_of
+        lru_fast = all(s.policy_name == "lru" for s in llc.slices)
+        # CAT mask cache, invalidated via the controller's generation.
+        cat_cache: list = [None, -1, [None] * n_cores]
+        # line -> slice memo: the mapping is a pure function of the
+        # hash (cleared on rebuild, size-capped so huge working sets
+        # cannot balloon it).  Write-back drains and the scalar path
+        # hit it instead of recomputing the parity hash per line.
+        slice_memo: dict = {}
+        slice_memo_get = slice_memo.get
+
+        def slice_lookup(line):
+            s = slice_memo_get(line)
+            if s is None:
+                s = hash_slice_of(line)
+                if len(slice_memo) >= (1 << 20):
+                    slice_memo.clear()
+                slice_memo[line] = s
+            return s
+
+        EV_LOOKUPS, EV_HITS, EV_MISSES = EVENT_LOOKUPS, EVENT_HITS, EVENT_MISSES
+        EV_FILLS, EV_EVICT, EV_WB = EVENT_FILLS, EVENT_EVICTIONS, EVENT_WRITEBACKS
+
+        def cat_allowed(core):
+            cat = llc.cat
+            if cat is not cat_cache[0] or cat.generation != cat_cache[1]:
+                cat_cache[0] = cat
+                cat_cache[1] = cat.generation
+                enabled = cat.is_enabled()
+                cat_cache[2] = [
+                    cat.allowed_ways(c) if enabled else None
+                    for c in range(n_cores)
+                ]
+            return cat_cache[2][core]
+
+        n_llc_ways = llc.n_ways
+
+        def llc_fill(line, core, dirty, slc):
+            # SlicedLLC.fill + WayCache.insert, inlined (demand fills
+            # only — DDIO fills stay on the reference path).
+            cnt = counts[slc]
+            cat = llc.cat
+            if cat is cat_cache[0] and cat.generation == cat_cache[1]:
+                allowed = cat_cache[2][core]
+            else:
+                allowed = cat_allowed(core)
+            cnt[EV_FILLS] += 1
+            set_i = (line >> 6) & llc_mask
+            where = llc_where[slc][set_i]
+            pol = llc_pols[slc][set_i]
+            existing = where.get(line)
+            if existing is not None:
+                if lru_fast:
+                    pol._clock += 1
+                    pol._stamp[existing] = pol._clock
+                else:
+                    pol.touch(existing)
+                if dirty:
+                    llc_dirty[slc][set_i][existing] = True
+                return None
+            tags = llc_tags[slc][set_i]
+            dirt = llc_dirty[slc][set_i]
+            if allowed is None:
+                ways = all_ways
+                # len(where) counts the valid ways, so a shorter dict
+                # guarantees an invalid way exists; .index finds the
+                # lowest one — the same way the reference scan picks.
+                if len(where) < n_llc_ways:
+                    w = tags.index(None)
+                    tags[w] = line
+                    dirt[w] = dirty
+                    where[line] = w
+                    if lru_fast:
+                        pol._clock += 1
+                        pol._stamp[w] = pol._clock
+                    else:
+                        pol.reset(w)
+                    return None
+            else:
+                ways = allowed
+                for w in ways:
+                    if tags[w] is None:
+                        tags[w] = line
+                        dirt[w] = dirty
+                        where[line] = w
+                        if lru_fast:
+                            pol._clock += 1
+                            pol._stamp[w] = pol._clock
+                        else:
+                            pol.reset(w)
+                        return None
+            if lru_fast:
+                # min() keeps the first of equal stamps, matching the
+                # reference LruPolicy's strict-less-than scan.
+                vw = min(ways, key=pol._stamp.__getitem__)
+            else:
+                vw = pol.victim(ways)
+            vtag = tags[vw]
+            vdirty = dirt[vw]
+            del where[vtag]
+            tags[vw] = line
+            dirt[vw] = dirty
+            where[line] = vw
+            if lru_fast:
+                pol._clock += 1
+                pol._stamp[vw] = pol._clock
+            else:
+                pol.reset(vw)
+            cnt[EV_EVICT] += 1
+            if vdirty:
+                cnt[EV_WB] += 1
+            return (vtag, vdirty)
+
+        # Over-approximate set of lines resident in any private cache.
+        # A line absent from it provably needs no invalidation sweep
+        # (LLC back-invalidation, DMA-write snooping).  The set lives on
+        # the hierarchy and only ever *grows* between rescans; it stays
+        # a superset because every private-cache insert funnels through
+        # code that adds to it: the engine's own fill helpers below, and
+        # the reference `_fill_l1`/`_fill_l2` (hooked once, the first
+        # time an engine is built, so `access_line`, `prefetch_line` and
+        # `warm` are covered too).  `clflush`/DMA/`drop_all` only remove
+        # lines, which cannot break a superset.  When it outgrows the
+        # private caches' true capacity it is rebuilt from the real set
+        # dicts (cheap: bounded by actual occupancy).
+        resident = getattr(h, "_resident_superset", None)
+        first_hook = resident is None
+        if first_hook:
+            resident = set()
+            h._resident_superset = resident
+        resident_add = resident.add
+        if first_hook:
+            ref_fill_l1 = type(h)._fill_l1
+            ref_fill_l2 = type(h)._fill_l2
+
+            def _fill_l1_hooked(core, line, dirty):
+                resident_add(line)
+                return ref_fill_l1(h, core, line, dirty)
+
+            def _fill_l2_hooked(core, line, dirty):
+                resident_add(line)
+                return ref_fill_l2(h, core, line, dirty)
+
+            h._fill_l1 = _fill_l1_hooked
+            h._fill_l2 = _fill_l2_hooked
+
+        resident_cap = 1024 + 4 * n_cores * (
+            (l1_mask + 1) * l1_ways + (l2_mask + 1) * l2_ways
+        )
+
+        def rescan_resident():
+            resident.clear()
+            res_update = resident.update
+            for per_core in l1_sets:
+                for s in per_core:
+                    res_update(s)
+            for per_core in l2_sets:
+                for s in per_core:
+                    res_update(s)
+
+        rescan_resident()
+
+        def fill_llc(core, line, dirty, slc, stats):
+            # CacheHierarchy._fill_llc for demand (non-I/O) fills.
+            victim = llc_fill(line, core, dirty, slc)
+            if victim is None:
+                return 0
+            vline, vdirty = victim
+            if inclusive and vline in resident:
+                shift = (vline >> 6)
+                s1i = shift & l1_mask
+                s2i = shift & l2_mask
+                for c in active_cores:
+                    d1 = l1_sets[c][s1i].pop(vline, None)
+                    d2 = l2_sets[c][s2i].pop(vline, None)
+                    if d1 or d2:
+                        vdirty = True
+            if vdirty:
+                stats.dram_writebacks += 1
+                return wb_dram_visible
+            return 0
+
+        def drain_l2_victim(core, vline, vdirty, stats):
+            # CacheHierarchy._drain_l2_victim.
+            if inclusive:
+                if not vdirty:
+                    return 0
+                vslc = slice_lookup(vline)
+                set_i = (vline >> 6) & llc_mask
+                way = llc_where[vslc][set_i].get(vline)
+                if way is not None:
+                    pol = llc_pols[vslc][set_i]
+                    if lru_fast:
+                        pol._clock += 1
+                        pol._stamp[way] = pol._clock
+                    else:
+                        pol.touch(way)
+                    llc_dirty[vslc][set_i][way] = True
+                else:
+                    fill_llc(core, vline, True, vslc, stats)
+                return wb_frac[core][vslc]
+            vslc = slice_lookup(vline)
+            extra = wb_frac[core][vslc] if vdirty else 0
+            victim = llc_fill(vline, core, vdirty, vslc)
+            if victim is not None and victim[1]:
+                stats.dram_writebacks += 1
+                extra += wb_dram_visible
+            return extra
+
+        def fill_l2(core, line, dirty, stats, slc=-1):
+            # CacheHierarchy._fill_l2 (DictCache.insert inlined).  When
+            # the caller already knows the line's slice it seeds the
+            # memo, so a later dirty eviction of this line drains
+            # without recomputing the hash.
+            s2 = l2_sets[core][(line >> 6) & l2_mask]
+            prev = s2.pop(line, None)
+            if prev is not None:
+                s2[line] = prev or dirty
+                return 0
+            resident_add(line)
+            if slc >= 0:
+                if len(slice_memo) >= (1 << 20):
+                    slice_memo.clear()
+                slice_memo[line] = slc
+            if len(s2) >= l2_ways:
+                vline = next(iter(s2))
+                vdirty = s2.pop(vline)
+                s2[line] = dirty
+                return drain_l2_victim(core, vline, vdirty, stats)
+            s2[line] = dirty
+            return 0
+
+        def drain_l1_dirty(core, vline, stats):
+            # Dirty L1 victim drains into L2 (the wb_l1_visible charge
+            # is added by the caller).
+            s2 = l2_sets[core][(vline >> 6) & l2_mask]
+            prev2 = s2.pop(vline, None)
+            if prev2 is not None:
+                s2[vline] = True
+                return 0
+            resident_add(vline)
+            if len(s2) >= l2_ways:
+                v2line = next(iter(s2))
+                v2dirty = s2.pop(v2line)
+                s2[vline] = True
+                return drain_l2_victim(core, v2line, v2dirty, stats)
+            s2[vline] = True
+            return 0
+
+        def fill_l1(core, line, dirty, stats):
+            # CacheHierarchy._fill_l1 (DictCache.insert inlined).
+            s1 = l1_sets[core][(line >> 6) & l1_mask]
+            prev = s1.pop(line, None)
+            if prev is not None:
+                s1[line] = prev or dirty
+                return 0
+            resident_add(line)
+            if len(s1) >= l1_ways:
+                vline = next(iter(s1))
+                vdirty = s1.pop(vline)
+                s1[line] = dirty
+                if not vdirty:
+                    return 0
+                return wb_l1_visible + drain_l1_dirty(core, vline, stats)
+            s1[line] = dirty
+            return 0
+
+        def access(core, line, write, slc, stats):
+            # CacheHierarchy.access_line, flattened.  *slc* is the
+            # precomputed slice index for *line*, or -1 to compute it
+            # lazily (only reached on an L2 miss).
+            active_cores.add(core)
+            if write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
+            shift = line >> 6
+            s1 = l1_sets[core][shift & l1_mask]
+            d = s1.pop(line, None)
+            if d is not None:
+                s1[line] = d or write
+                stats.l1_hits += 1
+                c = store_commit if write else l1_hit_lat
+                stats.cycles += c
+                return c, LEVEL_L1, -1
+            stats.l1_misses += 1
+            s2 = l2_sets[core][shift & l2_mask]
+            d = s2.pop(line, None)
+            if d is not None:
+                s2[line] = d
+                stats.l2_hits += 1
+                c = (store_commit + rfo_l2) if write else l2_hit_lat
+                c += fill_l1(core, line, write, stats)
+                stats.cycles += c
+                return c, LEVEL_L2, -1
+            stats.l2_misses += 1
+            if slc < 0:
+                slc = slice_lookup(line)
+            cnt = counts[slc]
+            cnt[EV_LOOKUPS] += 1
+            set_i = shift & llc_mask
+            way = llc_where[slc][set_i].get(line)
+            if way is not None:
+                cnt[EV_HITS] += 1
+                stats.llc_hits += 1
+                pol = llc_pols[slc][set_i]
+                if lru_fast:
+                    pol._clock += 1
+                    pol._stamp[way] = pol._clock
+                else:
+                    pol.touch(way)
+                if write:
+                    c = store_commit + rfo_llc[core][slc]
+                else:
+                    c = load_lat[core][slc]
+                c += fill_l2(core, line, False, stats, slc)
+                c += fill_l1(core, line, write, stats)
+                if prefetchers[core] is not None:
+                    run_prefetcher(core, line)
+                stats.cycles += c
+                return c, LEVEL_LLC, slc
+            cnt[EV_MISSES] += 1
+            stats.llc_misses += 1
+            stats.dram_accesses += 1
+            c = (store_commit + rfo_dram) if write else dram_lat
+            if inclusive:
+                c += fill_llc(core, line, False, slc, stats)
+            c += fill_l2(core, line, False, stats, slc)
+            c += fill_l1(core, line, write, stats)
+            if prefetchers[core] is not None:
+                run_prefetcher(core, line)
+            stats.cycles += c
+            return c, LEVEL_DRAM, slc
+
+        def run_batch(lines, writes, slcs, cores, the_core, stats):
+            # The batch loop with the `access` body inlined: no
+            # per-access closure call, tuple allocation or stats
+            # attribute updates.  Aggregate HierarchyStats fields are
+            # derived from the per-access level/cycle vectors at the
+            # end — identical totals by construction; only
+            # dram_writebacks (not derivable from the outcome vectors)
+            # is counted by the fill helpers on the real stats object.
+            n = len(lines)
+            if cores is None:
+                active_cores.add(the_core)
+                core_iter = _repeat(the_core, n)
+            else:
+                # Pre-adding issuing cores is result-equivalent to the
+                # reference's incremental adds: a not-yet-used core's
+                # private caches are empty, so back-invalidation
+                # sweeps visiting it early are no-ops.
+                active_cores.update(cores)
+                core_iter = cores
+            # Keep the residency superset tight: once it has outgrown
+            # the private caches' capacity by 4x, rebuild it from the
+            # true contents so the back-invalidation skip keeps firing.
+            if len(resident) > resident_cap:
+                rescan_resident()
+            cycles_out: list = []
+            levels_out: list = []
+            ca = cycles_out.append
+            la = levels_out.append
+            for core, line, write, slc in zip(core_iter, lines, writes, slcs):
+                shift = line >> 6
+                s1 = l1_sets[core][shift & l1_mask]
+                d = s1.pop(line, None)
+                if d is not None:
+                    s1[line] = d or write
+                    ca(store_commit if write else l1_hit_lat)
+                    la(0)
+                    continue
+                s2 = l2_sets[core][shift & l2_mask]
+                d = s2.pop(line, None)
+                if d is not None:
+                    s2[line] = d
+                    c = (store_commit + rfo_l2) if write else l2_hit_lat
+                    lv = 1
+                else:
+                    cnt = counts[slc]
+                    cnt[EV_LOOKUPS] += 1
+                    set_i = shift & llc_mask
+                    way = llc_where[slc][set_i].get(line)
+                    if way is not None:
+                        cnt[EV_HITS] += 1
+                        pol = llc_pols[slc][set_i]
+                        if lru_fast:
+                            pol._clock += 1
+                            pol._stamp[way] = pol._clock
+                        else:
+                            pol.touch(way)
+                        if write:
+                            c = store_commit + rfo_llc[core][slc]
+                        else:
+                            c = load_lat[core][slc]
+                        lv = 2
+                    else:
+                        cnt[EV_MISSES] += 1
+                        c = (store_commit + rfo_dram) if write else dram_lat
+                        if inclusive:
+                            c += fill_llc(core, line, False, slc, stats)
+                        lv = 3
+                    c += fill_l2(core, line, False, stats, slc)
+                # fill_l1, inlined: the probe above just missed, so
+                # the line cannot be resident and the insert never
+                # refreshes.
+                resident_add(line)
+                if len(s1) >= l1_ways:
+                    vline = next(iter(s1))
+                    vdirty = s1.pop(vline)
+                    s1[line] = write
+                    if vdirty:
+                        c += wb_l1_visible + drain_l1_dirty(
+                            core, vline, stats
+                        )
+                else:
+                    s1[line] = write
+                if lv > 1 and prefetchers[core] is not None:
+                    run_prefetcher(core, line)
+                ca(c)
+                la(lv)
+            cycles_arr = np.array(cycles_out, dtype=np.int64)
+            levels_arr = np.array(levels_out, dtype=np.uint8)
+            per_level = np.bincount(levels_arr, minlength=4)
+            n_l1, n_l2, n_llc, n_dram = (int(v) for v in per_level)
+            n_writes = sum(writes)
+            stats.reads += n - n_writes
+            stats.writes += n_writes
+            stats.l1_hits += n_l1
+            stats.l1_misses += n - n_l1
+            stats.l2_hits += n_l2
+            stats.l2_misses += n_llc + n_dram
+            stats.llc_hits += n_llc
+            stats.llc_misses += n_dram
+            stats.dram_accesses += n_dram
+            stats.cycles += int(cycles_arr.sum())
+            return cycles_arr, levels_arr
+
+        ddio_ways = llc.ddio_way_tuple
+        EV_DDIO_F, EV_DDIO_R = EVENT_DDIO_FILLS, EVENT_DDIO_READS
+
+        def dma_fill_span(first, last, stats):
+            # DdioEngine.dma_write with DDIO enabled, flattened:
+            # per line, CacheHierarchy.dma_fill_line == invalidate_
+            # private + _fill_llc(core=None, dirty=True, io=True).
+            # The residency superset skips the (usually fruitless)
+            # private-cache snoop for payload lines no core ever read.
+            if len(resident) > resident_cap:
+                rescan_resident()
+            n = 0
+            for line in range(first, last + CACHE_LINE, CACHE_LINE):
+                n += 1
+                shift = line >> 6
+                if line in resident:
+                    s1i = shift & l1_mask
+                    s2i = shift & l2_mask
+                    for c in active_cores:
+                        l1_sets[c][s1i].pop(line, None)
+                        l2_sets[c][s2i].pop(line, None)
+                slc = slice_lookup(line)
+                cnt = counts[slc]
+                cnt[EV_DDIO_F] += 1
+                cnt[EV_FILLS] += 1
+                set_i = shift & llc_mask
+                where = llc_where[slc][set_i]
+                pol = llc_pols[slc][set_i]
+                existing = where.get(line)
+                if existing is not None:
+                    if lru_fast:
+                        pol._clock += 1
+                        pol._stamp[existing] = pol._clock
+                    else:
+                        pol.touch(existing)
+                    llc_dirty[slc][set_i][existing] = True
+                    continue
+                tags = llc_tags[slc][set_i]
+                dirt = llc_dirty[slc][set_i]
+                vw = -1
+                for w in ddio_ways:
+                    if tags[w] is None:
+                        vw = w
+                        break
+                if vw < 0:
+                    if lru_fast:
+                        vw = min(ddio_ways, key=pol._stamp.__getitem__)
+                    else:
+                        vw = pol.victim(ddio_ways)
+                    vtag = tags[vw]
+                    vdirty = dirt[vw]
+                    del where[vtag]
+                else:
+                    vtag = None
+                    vdirty = False
+                tags[vw] = line
+                dirt[vw] = True
+                where[line] = vw
+                if lru_fast:
+                    pol._clock += 1
+                    pol._stamp[vw] = pol._clock
+                else:
+                    pol.reset(vw)
+                if vtag is None:
+                    continue
+                cnt[EV_EVICT] += 1
+                if vdirty:
+                    cnt[EV_WB] += 1
+                if inclusive and vtag in resident:
+                    vshift = vtag >> 6
+                    vs1 = vshift & l1_mask
+                    vs2 = vshift & l2_mask
+                    for c in active_cores:
+                        d1 = l1_sets[c][vs1].pop(vtag, None)
+                        d2 = l2_sets[c][vs2].pop(vtag, None)
+                        if d1 or d2:
+                            vdirty = True
+                if vdirty:
+                    stats.dram_writebacks += 1
+            return n
+
+        def dma_read_span(first, last):
+            # DdioEngine.dma_read, flattened: count the lookup and
+            # probe without touching replacement state (reads never
+            # allocate).  Returns (lines, hits).
+            n = 0
+            hits = 0
+            for line in range(first, last + CACHE_LINE, CACHE_LINE):
+                n += 1
+                slc = slice_lookup(line)
+                counts[slc][EV_DDIO_R] += 1
+                if line in llc_where[slc][(line >> 6) & llc_mask]:
+                    hits += 1
+            return n, hits
+
+        self._access = access
+        self._run_batch = run_batch
+        self._dma_fill_span = dma_fill_span
+        self._dma_read_span = dma_read_span
+        self._slice_memo = slice_memo
+        self._slice_of_array = getattr(llc.hash, "slice_of_array", None)
+        self._hash_slice_of = hash_slice_of
+        self._key = self._snapshot_key()
+
+    # ------------------------------------------------------------------
+    # Batch API
+    # ------------------------------------------------------------------
+
+    def access_batch(
+        self,
+        addresses: Union[Sequence[int], np.ndarray],
+        kinds=None,
+        core: Union[int, Sequence[int]] = 0,
+    ) -> BatchResult:
+        """Resolve a whole vector of line accesses.
+
+        Args:
+            addresses: byte addresses (any offset within a line); each
+                entry is one access to the line containing it.
+            kinds: per-access write flags — ``None`` (all loads), one
+                scalar, or a sequence (``True``/1 = store).
+            core: issuing core — a scalar, or one core per access
+                (interleaved multi-core streams).
+
+        Returns:
+            A :class:`BatchResult` with per-access cycles, levels and
+            slice indices, exactly matching what sequential
+            ``access_line`` calls would have produced.
+        """
+        self.refresh()
+        n = len(addresses)
+        if n == 0:
+            empty_i64 = np.zeros(0, dtype=np.int64)
+            return BatchResult(
+                cycles=empty_i64,
+                levels=np.zeros(0, dtype=np.uint8),
+                slices=np.zeros(0, dtype=np.int16),
+            )
+        addr_arr = np.asarray(addresses, dtype=np.uint64)
+        lines_arr = addr_arr & np.uint64(_LINE_MASK & 0xFFFFFFFFFFFFFFFF)
+        if self._slice_of_array is not None:
+            slcs_arr = np.asarray(self._slice_of_array(lines_arr), dtype=np.int16)
+        else:
+            scalar_hash = self._hash_slice_of
+            slcs_arr = np.array(
+                [scalar_hash(int(a)) for a in lines_arr.tolist()], dtype=np.int16
+            )
+        lines = lines_arr.tolist()
+        writes = _as_bool_list(kinds, n)
+        cores = _as_core_list(core, n)
+        the_core = int(core) if cores is None else 0
+        cycles_arr, levels_arr = self._run_batch(
+            lines, writes, slcs_arr.tolist(), cores, the_core, self.hierarchy.stats
+        )
+        # Slice indices only apply to accesses that reached the LLC;
+        # private-cache hits report -1, recovered here vectorised
+        # instead of appending per access inside the hot loop.
+        slices_arr = np.where(levels_arr >= LEVEL_LLC, slcs_arr, np.int16(-1))
+        return BatchResult(cycles=cycles_arr, levels=levels_arr, slices=slices_arr)
+
+    # ------------------------------------------------------------------
+    # Fast scalar API (installed over CacheHierarchy.read/write)
+    # ------------------------------------------------------------------
+
+    def read(self, core: int, address: int, size: int = CACHE_LINE) -> int:
+        """Fast-path replacement for :meth:`CacheHierarchy.read`."""
+        return self._span(core, address, size, False)
+
+    def write(self, core: int, address: int, size: int = CACHE_LINE) -> int:
+        """Fast-path replacement for :meth:`CacheHierarchy.write`."""
+        return self._span(core, address, size, True)
+
+    def _span(self, core: int, address: int, size: int, write: bool) -> int:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        first = address & _LINE_MASK
+        last = (address + size - 1) & _LINE_MASK
+        stats = self.hierarchy.stats
+        access = self._access
+        if first == last:
+            return access(core, first, write, -1, stats)[0]
+        cycles = 0
+        for line in range(first, last + CACHE_LINE, CACHE_LINE):
+            cycles += access(core, line, write, -1, stats)[0]
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Fast DMA API (used by DdioEngine when the fast engine is active)
+    # ------------------------------------------------------------------
+
+    def dma_write_span(self, address: int, size: int) -> int:
+        """Flattened :meth:`DdioEngine.dma_write` (DDIO enabled).
+
+        Returns the number of lines written, with outcomes identical to
+        per-line :meth:`CacheHierarchy.dma_fill_line` calls.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.refresh()
+        first = address & _LINE_MASK
+        last = (address + size - 1) & _LINE_MASK
+        return self._dma_fill_span(first, last, self.hierarchy.stats)
+
+    def dma_read_span(self, address: int, size: int) -> Tuple[int, int]:
+        """Flattened :meth:`DdioEngine.dma_read`; returns ``(lines, hits)``."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.refresh()
+        first = address & _LINE_MASK
+        last = (address + size - 1) & _LINE_MASK
+        return self._dma_read_span(first, last)

@@ -157,6 +157,11 @@ class CacheHierarchy:
         # need to visit these (single-core workloads skip 7/8 of the
         # private-cache probes).
         self._active_cores: set = set()
+        #: Which access engine serves ``read``/``write``/``access_batch``:
+        #: ``"reference"`` (this module's per-access path) or ``"fast"``
+        #: (:mod:`repro.cachesim.engine`).  Switch via :meth:`set_engine`.
+        self.engine_name = "reference"
+        self._fast_engine = None
 
     # ------------------------------------------------------------------
     # Demand accesses
@@ -217,6 +222,96 @@ class CacheHierarchy:
         cycles += self._run_prefetcher(core, line)
         stats.cycles += cycles
         return AccessResult(cycles, "dram", slice_index)
+
+    def fast_engine(self):
+        """Return (building lazily) this hierarchy's :class:`FastEngine`."""
+        if self._fast_engine is None:
+            from repro.cachesim.engine import FastEngine
+
+            self._fast_engine = FastEngine(self)
+        return self._fast_engine
+
+    def set_engine(self, name: str) -> None:
+        """Select the access engine: ``"reference"`` or ``"fast"``.
+
+        With ``"fast"``, :meth:`read` and :meth:`write` are rebound to
+        the flattened engine (identical outcomes, several times
+        faster); ``"reference"`` restores this module's per-access
+        implementations.  NIC DMA also switches to the engine's
+        flattened span path while ``"fast"`` is selected; everything
+        else (``clflush``, CAT, ``warm``) always runs the reference
+        code — both engines share one cache state, so they interleave
+        freely.
+        """
+        if name == "fast":
+            engine = self.fast_engine()
+            engine.refresh()
+            self.read = engine.read  # type: ignore[method-assign]
+            self.write = engine.write  # type: ignore[method-assign]
+        elif name == "reference":
+            self.__dict__.pop("read", None)
+            self.__dict__.pop("write", None)
+        else:
+            raise ValueError(f"unknown engine {name!r}")
+        self.engine_name = name
+
+    def access_batch(
+        self,
+        addresses,
+        kinds=None,
+        core=0,
+        engine: Optional[str] = None,
+    ):
+        """Resolve a vector of line accesses; returns a ``BatchResult``.
+
+        Args:
+            addresses: byte addresses, one access each.
+            kinds: write flags — ``None`` (all loads), a scalar, or a
+                per-access sequence (truthy = store).
+            core: issuing core — a scalar, or one entry per access for
+                interleaved multi-core streams.
+            engine: override the engine for this call (defaults to
+                :attr:`engine_name`).
+
+        Both engines produce identical results (machine-checked by the
+        differential suite); ``"fast"`` is the vectorised hot path,
+        ``"reference"`` loops :meth:`access_line`.
+        """
+        engine = engine if engine is not None else self.engine_name
+        if engine == "fast":
+            return self.fast_engine().access_batch(addresses, kinds, core)
+        if engine != "reference":
+            raise ValueError(f"unknown engine {engine!r}")
+        from repro.cachesim.engine import BatchResult, LEVEL_NAMES
+
+        n = len(addresses)
+        if kinds is None:
+            writes = [False] * n
+        elif isinstance(kinds, (bool, int)):
+            writes = [bool(kinds)] * n
+        else:
+            writes = [bool(k) for k in kinds]
+            if len(writes) != n:
+                raise ValueError(f"kinds has {len(writes)} entries for {n} addresses")
+        if isinstance(core, int):
+            cores = [core] * n
+        else:
+            cores = [int(c) for c in core]
+            if len(cores) != n:
+                raise ValueError(f"core has {len(cores)} entries for {n} addresses")
+        import numpy as np
+
+        cycles = np.empty(n, dtype=np.int64)
+        levels = np.empty(n, dtype=np.uint8)
+        slices = np.empty(n, dtype=np.int16)
+        for i in range(n):
+            result = self.access_line(
+                cores[i], int(addresses[i]) & ~(CACHE_LINE - 1), write=writes[i]
+            )
+            cycles[i] = result.cycles
+            levels[i] = LEVEL_NAMES.index(result.level)
+            slices[i] = -1 if result.slice_index is None else result.slice_index
+        return BatchResult(cycles=cycles, levels=levels, slices=slices)
 
     def read(self, core: int, address: int, size: int = CACHE_LINE) -> int:
         """Read ``[address, address+size)``; returns total stall cycles."""

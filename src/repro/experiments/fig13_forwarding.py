@@ -18,6 +18,7 @@ def run_fig13(
     micro_packets: int = 4000,
     runs: int = 3,
     seed: int = 0,
+    engine: str = "reference",
 ) -> Dict[str, NfvExperimentResult]:
     """Forwarding at 100 Gbps with RSS steering over 8 cores."""
     return compare_cache_director(
@@ -28,6 +29,7 @@ def run_fig13(
         micro_packets=micro_packets,
         runs=runs,
         seed=seed,
+        engine=engine,
     )
 
 

@@ -67,10 +67,16 @@ def measure_service_times(
     micro_packets: int = 4000,
     n_cores: int = 8,
     seed: int = 0,
+    engine: str = "reference",
 ) -> np.ndarray:
     """Cache-simulate a packet sample; returns service times (ns)."""
     env = DutEnvironment(
-        DutConfig(cache_director=cache_director, n_cores=n_cores, seed=seed),
+        DutConfig(
+            cache_director=cache_director,
+            n_cores=n_cores,
+            seed=seed,
+            engine=engine,
+        ),
         chain_factory,
     )
     steering = make_steering(steering_kind, n_cores)
@@ -91,6 +97,7 @@ def run_nfv_experiment(
     ring_capacity: int = 1024,
     nic: Optional[NicModel] = None,
     seed: int = 0,
+    engine: str = "reference",
 ) -> NfvExperimentResult:
     """Full pipeline for one configuration; medians over *runs*."""
     generator = CampusTraceGenerator(seed=seed + 1)
@@ -102,6 +109,7 @@ def run_nfv_experiment(
         micro_packets=micro_packets,
         n_cores=n_cores,
         seed=seed,
+        engine=engine,
     )
     flow_keys = [tuple(f) for f in generator.flows]
     summaries: List[LatencySummary] = []

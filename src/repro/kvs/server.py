@@ -58,6 +58,8 @@ class KvsServer:
         rx_buffers: rotating RX buffer count (models the mbuf ring).
         fixed_cost: per-request instruction cost (parse, hash, respond)
             outside the measured memory accesses.
+        engine: cache-access engine for the request loop
+            (``"reference"`` or ``"fast"``; identical outcomes).
     """
 
     def __init__(
@@ -67,6 +69,7 @@ class KvsServer:
         core: int = 0,
         rx_buffers: int = 1024,
         fixed_cost: int = 30,
+        engine: str = "reference",
     ) -> None:
         if rx_buffers <= 0:
             raise ValueError(f"rx_buffers must be positive, got {rx_buffers}")
@@ -75,6 +78,7 @@ class KvsServer:
         self.core = core
         self.fixed_cost = fixed_cost
         self.hierarchy = context.hierarchy
+        self.hierarchy.set_engine(engine)
         self.ddio = DdioEngine(self.hierarchy)
         buf = context.allocate_normal(rx_buffers * REQUEST_BYTES)
         self._rx_buffers = [

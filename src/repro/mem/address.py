@@ -88,17 +88,30 @@ def bit(value: int, position: int) -> int:
     return (value >> position) & 1
 
 
-def parity(value: int) -> int:
-    """Return the XOR (parity) of all bits of *value*.
+if hasattr(int, "bit_count"):  # Python >= 3.10
 
-    This is the primitive from which Intel's Complex Addressing hash is
-    built: each slice-selection bit is the parity of the physical
-    address masked by a per-bit mask.
-    """
-    value ^= value >> 32
-    value ^= value >> 16
-    value ^= value >> 8
-    value ^= value >> 4
-    value ^= value >> 2
-    value ^= value >> 1
-    return value & 1
+    def parity(value: int) -> int:
+        """Return the XOR (parity) of all bits of *value*.
+
+        This is the primitive from which Intel's Complex Addressing
+        hash is built: each slice-selection bit is the parity of the
+        physical address masked by a per-bit mask.
+        """
+        return value.bit_count() & 1
+
+else:
+
+    def parity(value: int) -> int:
+        """Return the XOR (parity) of all bits of *value*.
+
+        This is the primitive from which Intel's Complex Addressing
+        hash is built: each slice-selection bit is the parity of the
+        physical address masked by a per-bit mask.
+        """
+        value ^= value >> 32
+        value ^= value >> 16
+        value ^= value >> 8
+        value ^= value >> 4
+        value ^= value >> 2
+        value ^= value >> 1
+        return value & 1

@@ -10,7 +10,7 @@ larger physical address span, the "memory fragmentation" §7 mentions.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import List, Optional
 
 from repro.cachesim.hashfn import SliceHash
 from repro.mem.address import CACHE_LINE
@@ -53,7 +53,11 @@ class SliceLocalArray:
         remainder = base_phys % self.block_bytes
         self.base_phys = base_phys + (self.block_bytes - remainder if remainder else 0)
         self.n_lines = n_lines
-        self._offset_memo: Dict[int, int] = {}
+        # Per-index probe offsets, built lazily in one vectorised pass
+        # (a flat list, not a dict — ~8 B/entry even for multi-million
+        # line arrays).  ``None`` marks blocks the vector pass could
+        # not resolve; they fall back to the scalar probe.
+        self._offsets: Optional[List[Optional[int]]] = None
 
     @property
     def span_bytes(self) -> int:
@@ -64,12 +68,52 @@ class SliceLocalArray:
         """Physical address of the *index*-th slice-local line."""
         if not 0 <= index < self.n_lines:
             raise IndexError(f"index {index} outside array of {self.n_lines}")
-        offset = self._offset_memo.get(index)
+        offsets = self._offsets
+        if offsets is None:
+            offsets = self._fill_offsets()
+        offset = offsets[index]
         block_base = self.base_phys + index * self.block_bytes
         if offset is None:
             offset = self._probe(block_base)
-            self._offset_memo[index] = offset
+            offsets[index] = offset
         return block_base + offset * CACHE_LINE
+
+    def _fill_offsets(self) -> List[Optional[int]]:
+        """Probe every block in one vectorised pass over the hash.
+
+        Replaces up to ``n_lines * block_lines`` scalar ``slice_of``
+        calls with chunked ``slice_of_array`` sweeps on first use;
+        blocks missing the target slice are left to the scalar path so
+        :meth:`_probe` still raises its diagnostic LookupError.
+        """
+        offsets: List[Optional[int]] = [None] * self.n_lines
+        self._offsets = offsets
+        slice_of_array = getattr(self.hash, "slice_of_array", None)
+        if slice_of_array is None:
+            return offsets
+        import numpy as np
+
+        block_lines = self.block_lines
+        line_offsets = np.arange(block_lines, dtype=np.uint64) * np.uint64(CACHE_LINE)
+        chunk = max(1, (1 << 21) // block_lines)
+        for start in range(0, self.n_lines, chunk):
+            count = min(chunk, self.n_lines - start)
+            bases = (
+                np.uint64(self.base_phys)
+                + np.arange(start, start + count, dtype=np.uint64)
+                * np.uint64(self.block_bytes)
+            )
+            slices = slice_of_array(bases[:, None] + line_offsets[None, :])
+            matches = slices == self.target_slice
+            found = matches.any(axis=1)
+            offs = matches.argmax(axis=1).tolist()
+            if found.all():
+                offsets[start : start + count] = offs
+            else:
+                for i, ok in enumerate(found.tolist()):
+                    if ok:
+                        offsets[start + i] = offs[i]
+        return offsets
 
     def _probe(self, block_base: int) -> int:
         slice_of = self.hash.slice_of

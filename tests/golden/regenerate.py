@@ -1,0 +1,71 @@
+"""Regenerate the golden regression numbers under ``tests/golden/``.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+The simulator is fully deterministic at fixed seeds, so these numbers
+only move when the *model* changes.  Regenerate deliberately, review
+the diff, and mention the cause in the commit message; the paired
+tolerances in each JSON absorb float noise, not model drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cachesim.machines import SKYLAKE_GOLD_6134
+from repro.core.profiles import derive_preference_table
+from repro.experiments.fig05_access_time import run_fig05
+from repro.experiments.fig06_speedup import run_fig06
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+FIG05_PARAMS = {"core": 0, "runs": 3, "seed": 0}
+FIG06_PARAMS = {"core": 0, "n_ops": 2000, "seed": 0}
+
+
+def regenerate() -> None:
+    profile = run_fig05(**FIG05_PARAMS)
+    fig05 = {
+        "params": FIG05_PARAMS,
+        "rel_tol": 1e-6,
+        "read_cycles": list(profile.read_cycles),
+        "write_cycles": list(profile.write_cycles),
+        "fastest_slice": profile.fastest_slice(),
+        "read_spread": profile.read_spread(),
+    }
+    (GOLDEN_DIR / "fig05_latency.json").write_text(
+        json.dumps(fig05, indent=2) + "\n"
+    )
+
+    result = run_fig06(**FIG06_PARAMS)
+    fig06 = {
+        "params": FIG06_PARAMS,
+        "abs_tol_pct": 0.5,
+        "read_speedup_pct": result.read_speedup_pct,
+        "write_speedup_pct": result.write_speedup_pct,
+        "normal_read_cycles": result.normal_read_cycles,
+        "normal_write_cycles": result.normal_write_cycles,
+    }
+    (GOLDEN_DIR / "fig06_speedup.json").write_text(
+        json.dumps(fig06, indent=2) + "\n"
+    )
+
+    table = derive_preference_table(SKYLAKE_GOLD_6134.interconnect_factory())
+    table4 = {
+        "machine": SKYLAKE_GOLD_6134.name,
+        "preferable": {
+            str(core): {"primary": primary, "secondary": list(secondary)}
+            for core, (primary, secondary) in sorted(table.items())
+        },
+    }
+    (GOLDEN_DIR / "table4_preferable_slices.json").write_text(
+        json.dumps(table4, indent=2) + "\n"
+    )
+    print(f"wrote 3 golden files to {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -1,0 +1,197 @@
+"""Differential tests: the fast batch engine versus the reference path.
+
+Every test replays one randomized trace through two freshly-built
+hierarchies — one driven access-by-access through ``access_line``, one
+through ``access_batch`` with the fast engine — and requires identical
+per-access outcomes (cycles, servicing level, slice) plus identical
+final state fingerprints, down to the per-slice uncore counters.
+
+Both machine shapes are covered: Haswell (inclusive LLC, complex
+addressing hash, ring) and Skylake (non-inclusive LLC, modular hash,
+mesh), each at a shrunken geometry that forces heavy eviction traffic
+in a few thousand accesses, plus the full published geometries.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.cachesim.diff import (
+    make_rare_events,
+    random_trace,
+    run_differential,
+    state_fingerprint,
+)
+from repro.cachesim.machines import (
+    HASWELL_E5_2667V3,
+    SKYLAKE_GOLD_6134,
+    build_hierarchy,
+)
+
+pytestmark = pytest.mark.differential
+
+SMALL_HASWELL = dataclasses.replace(
+    HASWELL_E5_2667V3, l1_sets=8, l1_ways=2, l2_sets=16, l2_ways=4,
+    llc_sets=32, llc_ways=8,
+)
+SMALL_SKYLAKE = dataclasses.replace(
+    SKYLAKE_GOLD_6134, l1_sets=8, l1_ways=2, l2_sets=16, l2_ways=4,
+    llc_sets=32, llc_ways=8,
+)
+
+SPECS = {
+    "haswell-small": SMALL_HASWELL,
+    "skylake-small": SMALL_SKYLAKE,
+    "haswell-full": HASWELL_E5_2667V3,
+    "skylake-full": SKYLAKE_GOLD_6134,
+}
+
+
+def builder(spec, **kwargs):
+    return lambda: build_hierarchy(spec, **kwargs)
+
+
+@pytest.mark.parametrize("name", ["haswell-small", "skylake-small"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_mixed_trace_identical(name, seed):
+    spec = SPECS[name]
+    rng = random.Random(seed)
+    trace = random_trace(rng, 8000, spec.n_cores)
+    report = run_differential(builder(spec), trace, chunk_size=1024)
+    assert report.equal, report.detail
+
+
+@pytest.mark.parametrize("name", ["haswell-full", "skylake-full"])
+def test_full_geometry_identical(name):
+    spec = SPECS[name]
+    rng = random.Random(42)
+    trace = random_trace(rng, 6000, spec.n_cores)
+    report = run_differential(builder(spec), trace, chunk_size=512)
+    assert report.equal, report.detail
+
+
+@pytest.mark.parametrize("name", ["haswell-small", "skylake-small"])
+def test_rare_events_between_chunks(name):
+    """clflush/DDIO/CAT on the shared state between batches."""
+    spec = SPECS[name]
+    rng = random.Random(7)
+    trace = random_trace(rng, 6000, spec.n_cores)
+    events = make_rare_events(rng, trace, spec.n_cores, spec.llc_ways)
+    report = run_differential(
+        builder(spec), trace, chunk_size=500, rare_events=events
+    )
+    assert report.equal, report.detail
+
+
+@pytest.mark.parametrize("name", ["haswell-small", "skylake-small"])
+def test_single_core_stream(name):
+    """Scalar ``core=`` argument takes the repeat-iterator path."""
+    spec = SPECS[name]
+    rng = random.Random(3)
+    trace = random_trace(rng, 5000, 1)
+    trace.cores = [2] * len(trace)
+    report = run_differential(builder(spec), trace, chunk_size=640)
+    assert report.equal, report.detail
+
+
+def test_loads_only_default_kinds():
+    """kinds=None (all loads) must match explicit all-False writes."""
+    spec = SMALL_HASWELL
+    rng = random.Random(5)
+    trace = random_trace(rng, 4000, spec.n_cores, write_fraction=0.0)
+    report = run_differential(builder(spec), trace, chunk_size=256)
+    assert report.equal, report.detail
+    reference = build_hierarchy(spec)
+    fast = build_hierarchy(spec)
+    for address, core in zip(trace.addresses, trace.cores):
+        reference.access_line(core, address, False)
+    fast.access_batch(trace.addresses, None, trace.cores, engine="fast")
+    assert state_fingerprint(reference) == state_fingerprint(fast)
+
+
+@pytest.mark.parametrize("policy", ["lru", "random"])
+def test_replacement_policies(policy):
+    """The engine's inlined LRU and the generic-policy fallback."""
+    spec = SMALL_HASWELL
+    rng = random.Random(11)
+    trace = random_trace(rng, 5000, spec.n_cores)
+    report = run_differential(
+        builder(spec, policy=policy, seed=123), trace, chunk_size=512
+    )
+    assert report.equal, report.detail
+
+
+@pytest.mark.parametrize("name", ["haswell-small", "skylake-small"])
+def test_scalar_fast_path(name):
+    """set_engine("fast") rebinds read/write; they must stay identical."""
+    spec = SPECS[name]
+    rng = random.Random(13)
+    trace = random_trace(rng, 4000, spec.n_cores)
+    reference = build_hierarchy(spec)
+    fast = build_hierarchy(spec)
+    fast.set_engine("fast")
+    for address, write, core in zip(trace.addresses, trace.writes, trace.cores):
+        expected = reference.access_line(core, address, write).cycles
+        if write:
+            got = fast.write(core, address)
+        else:
+            got = fast.read(core, address)
+        assert got == expected
+    assert state_fingerprint(reference) == state_fingerprint(fast)
+
+
+def test_cat_partitioning_under_batches():
+    """An enabled CAT partition reroutes fills identically."""
+    spec = SMALL_HASWELL
+    rng = random.Random(17)
+    trace = random_trace(rng, 5000, spec.n_cores)
+
+    def build():
+        hierarchy = build_hierarchy(spec)
+        cat = hierarchy.llc.cat
+        cat.define_clos(1, 0b1111)
+        for core in range(spec.n_cores // 2):
+            cat.assign_core(core, 1)
+        return hierarchy
+
+    report = run_differential(build, trace, chunk_size=512)
+    assert report.equal, report.detail
+
+
+def test_harness_detects_divergence():
+    """The harness itself must flag a deliberate mismatch."""
+    spec = SMALL_HASWELL
+    rng = random.Random(19)
+    trace = random_trace(rng, 500, spec.n_cores)
+    flip = {"first": True}
+
+    def build():
+        hierarchy = build_hierarchy(spec)
+        if not flip["first"]:
+            # Perturb the second (fast) hierarchy before replay.
+            hierarchy.access_line(0, 0x4000, True)
+        flip["first"] = False
+        return hierarchy
+
+    report = run_differential(builder(spec), trace, chunk_size=128)
+    assert report.equal
+    report = run_differential(build, trace, chunk_size=128)
+    assert not report.equal
+    assert report.detail
+
+
+def test_chunk_size_does_not_matter():
+    """Batch boundaries are invisible: chunk sizes give equal outcomes."""
+    spec = SMALL_SKYLAKE
+    rng = random.Random(23)
+    trace = random_trace(rng, 3000, spec.n_cores)
+    reports = [
+        run_differential(builder(spec), trace, chunk_size=c, keep_outcomes=True)
+        for c in (1, 37, 512, 3000)
+    ]
+    for report in reports:
+        assert report.equal, report.detail
+    baseline = reports[0].fast_outcomes
+    for report in reports[1:]:
+        assert report.fast_outcomes == baseline

@@ -1,0 +1,101 @@
+"""Golden-number regression tests for the headline experiment outputs.
+
+The simulator is deterministic at fixed seeds, so the published-figure
+pipelines must keep producing the numbers frozen in ``tests/golden/``.
+A failure here means the *model* changed — if that was deliberate, run
+``PYTHONPATH=src python tests/golden/regenerate.py`` and review the
+diff; the tolerances stored alongside each golden file absorb float
+noise only.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.cachesim.machines import SKYLAKE_GOLD_6134
+from repro.core.profiles import derive_preference_table
+from repro.experiments.fig05_access_time import run_fig05
+from repro.experiments.fig06_speedup import run_fig06
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def load(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / name).read_text())
+
+
+class TestFig05Latency:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load("fig05_latency.json")
+
+    @pytest.fixture(scope="class")
+    def profile(self, golden):
+        return run_fig05(**golden["params"])
+
+    def test_per_slice_cycles(self, golden, profile):
+        rel = golden["rel_tol"]
+        for got, want in zip(profile.read_cycles, golden["read_cycles"]):
+            assert math.isclose(got, want, rel_tol=rel), (got, want)
+        for got, want in zip(profile.write_cycles, golden["write_cycles"]):
+            assert math.isclose(got, want, rel_tol=rel), (got, want)
+
+    def test_latency_ordering(self, golden, profile):
+        """Fig. 5a's shape: from core 0 the even (near-ring) slices are
+        strictly cheaper to read than the odd ones, and the fastest
+        slice is the frozen one."""
+        reads = profile.read_cycles
+        assert max(reads[s] for s in range(0, len(reads), 2)) < min(
+            reads[s] for s in range(1, len(reads), 2)
+        )
+        assert profile.fastest_slice() == golden["fastest_slice"]
+        assert math.isclose(
+            profile.read_spread(), golden["read_spread"],
+            rel_tol=golden["rel_tol"],
+        )
+
+
+class TestFig06Speedup:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load("fig06_speedup.json")
+
+    @pytest.fixture(scope="class")
+    def result(self, golden):
+        return run_fig06(**golden["params"])
+
+    def test_per_slice_speedups(self, golden, result):
+        tol = golden["abs_tol_pct"]
+        for got, want in zip(result.read_speedup_pct, golden["read_speedup_pct"]):
+            assert abs(got - want) <= tol, (got, want)
+        for got, want in zip(
+            result.write_speedup_pct, golden["write_speedup_pct"]
+        ):
+            assert abs(got - want) <= tol, (got, want)
+
+    def test_baseline_cycles(self, golden, result):
+        assert math.isclose(
+            result.normal_read_cycles, golden["normal_read_cycles"], rel_tol=1e-6
+        )
+        assert math.isclose(
+            result.normal_write_cycles, golden["normal_write_cycles"], rel_tol=1e-6
+        )
+
+    def test_near_slices_beat_far_slices(self, result):
+        """Fig. 6's qualitative claim survives any regeneration: the
+        best slice-local placement beats the worst by a wide margin."""
+        assert max(result.read_speedup_pct) > 0
+        assert max(result.read_speedup_pct) - min(result.read_speedup_pct) > 10
+
+
+class TestTable4PreferableSlices:
+    def test_exact_match(self):
+        golden = load("table4_preferable_slices.json")
+        table = derive_preference_table(SKYLAKE_GOLD_6134.interconnect_factory())
+        got = {
+            str(core): {"primary": primary, "secondary": list(secondary)}
+            for core, (primary, secondary) in table.items()
+        }
+        assert got == golden["preferable"]

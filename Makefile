@@ -2,7 +2,10 @@
 
 PY ?= python
 
-.PHONY: install test diff-test bench bench-full quick examples figures clean
+.PHONY: install test diff-test bench bench-full quick examples figures lab lab-compare clean
+
+LAB_DIR ?= lab-runs/latest
+LAB_JOBS ?= 4
 
 install:
 	pip install -e . --no-build-isolation
@@ -40,6 +43,14 @@ figures:
 	$(PY) -m repro table 1
 	$(PY) -m repro table 2
 	$(PY) -m repro table 4
+
+# Run the whole experiment matrix (reduced scale) into $(LAB_DIR).
+lab:
+	$(PY) -m repro lab run --all --jobs $(LAB_JOBS) --out $(LAB_DIR)
+
+# Diff the latest lab run against the checked-in golden baselines.
+lab-compare:
+	$(PY) -m repro lab compare $(LAB_DIR) tests/golden
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

@@ -4,21 +4,25 @@ Examples::
 
     python -m repro profile --machine haswell
     python -m repro recover-hash
-    python -m repro fig 6 --ops 4000
-    python -m repro fig 14 --offered 100
-    python -m repro table 4
+    python -m repro fig 6 --ops 4000 --seed 7
+    python -m repro fig 14 --offered 100 --json
+    python -m repro table 3
     python -m repro headroom --packets 10000
-    python -m repro ablation prefetcher
+    python -m repro ablation prefetcher --json
+    python -m repro lab run --all --jobs 4 --out lab-runs/nightly
+    python -m repro lab compare lab-runs/nightly tests/golden
 
 Every subcommand prints the same rows/series the paper's figure or
-table reports (see EXPERIMENTS.md for the mapping).
+table reports (see EXPERIMENTS.md for the mapping); ``--json`` emits
+the same payload the lab's run artifacts store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.cachesim.machines import HASWELL_E5_2667V3, SKYLAKE_GOLD_6134
 
@@ -28,11 +32,22 @@ MACHINES = {
 }
 
 
+def _emit_json(payload: Any) -> int:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.experiments.fig05_access_time import format_profile, run_fig05
+    from repro.experiments.fig05_access_time import (
+        format_profile,
+        profile_to_dict,
+        run_fig05,
+    )
 
     spec = MACHINES[args.machine]
-    profile = run_fig05(spec=spec, core=args.core, runs=args.runs)
+    profile = run_fig05(spec=spec, core=args.core, runs=args.runs, seed=args.seed)
+    if args.json:
+        return _emit_json(profile_to_dict(profile))
     print(
         format_profile(
             profile, f"Per-slice access time, core {args.core} ({spec.name})"
@@ -42,114 +57,180 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_recover_hash(args: argparse.Namespace) -> int:
-    from repro.experiments.fig04_hash_recovery import format_fig04, run_fig04
+    from repro.experiments.fig04_hash_recovery import (
+        fig04_to_dict,
+        format_fig04,
+        run_fig04,
+    )
 
-    result = run_fig04(verify_addresses=args.verify)
+    result = run_fig04(verify_addresses=args.verify, seed=args.seed)
+    status = 0 if result.ground_truth_match else 1
+    if args.json:
+        _emit_json(fig04_to_dict(result))
+        return status
     print(format_fig04(result))
-    return 0 if result.ground_truth_match else 1
+    return status
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments import tables
 
     if args.number == 1:
+        if args.json:
+            return _emit_json(tables.table1_to_dict(tables.run_table1()))
         print(tables.format_table1())
     elif args.number == 2:
+        if args.json:
+            return _emit_json(tables.table2_to_dict(tables.run_table2()))
         print(tables.format_table2())
-    elif args.number == 4:
-        print(tables.format_table4())
-    else:
-        print(
-            "Table 3 is computed from the Fig. 13/14 runs: "
-            "use `python -m repro fig 13` and `fig 14`, or the "
-            "benchmark suite.",
-            file=sys.stderr,
+    elif args.number == 3:
+        rows = tables.run_table3(
+            n_bulk_packets=args.bulk,
+            micro_packets=args.micro,
+            runs=args.runs,
+            seed=args.seed,
         )
-        return 2
+        if args.json:
+            return _emit_json(tables.table3_to_dict(rows))
+        print(tables.format_table3(rows))
+    else:
+        if args.json:
+            return _emit_json(tables.table4_to_dict(tables.run_table4()))
+        print(tables.format_table4())
     return 0
 
 
 def _cmd_fig(args: argparse.Namespace) -> int:
     number = args.number
+    seed = args.seed
     if number == 4:
         return _cmd_recover_hash(args)
     if number in (5, 16):
         from repro.experiments.fig05_access_time import (
             format_profile,
+            profile_to_dict,
             run_fig05,
             run_fig16,
         )
 
-        profile = run_fig16(runs=args.runs) if number == 16 else run_fig05(runs=args.runs)
+        profile = (
+            run_fig16(runs=args.runs, seed=seed)
+            if number == 16
+            else run_fig05(runs=args.runs, seed=seed)
+        )
+        if args.json:
+            return _emit_json(profile_to_dict(profile))
         print(format_profile(profile, f"Fig. {number}"))
         return 0
     if number == 6:
-        from repro.experiments.fig06_speedup import format_fig06, run_fig06
+        from repro.experiments.fig06_speedup import (
+            fig06_to_dict,
+            format_fig06,
+            run_fig06,
+        )
 
-        print(format_fig06(run_fig06(n_ops=args.ops)))
+        result = run_fig06(n_ops=args.ops, seed=seed)
+        if args.json:
+            return _emit_json(fig06_to_dict(result))
+        print(format_fig06(result))
         return 0
     if number == 7:
-        from repro.experiments.fig07_ops_sweep import format_fig07, run_fig07
+        from repro.experiments.fig07_ops_sweep import (
+            fig07_to_dict,
+            format_fig07,
+            run_fig07,
+        )
 
-        print(format_fig07(run_fig07(n_ops=max(200, args.ops // 4))))
+        result = run_fig07(n_ops=max(200, args.ops // 4), seed=seed)
+        if args.json:
+            return _emit_json(fig07_to_dict(result))
+        print(format_fig07(result))
         return 0
     if number == 8:
-        from repro.experiments.fig08_kvs import format_fig08, run_fig08
+        from repro.experiments.fig08_kvs import fig08_to_dict, format_fig08, run_fig08
 
-        print(
-            format_fig08(
-                run_fig08(
-                    warmup_requests=args.warmup,
-                    measured_requests=args.ops,
-                )
-            )
+        result = run_fig08(
+            warmup_requests=args.warmup,
+            measured_requests=args.ops,
+            seed=seed,
         )
+        if args.json:
+            return _emit_json(fig08_to_dict(result))
+        print(format_fig08(result))
         return 0
     if number == 12:
-        from repro.experiments.fig12_low_rate import format_fig12, run_fig12
+        from repro.experiments.fig12_low_rate import (
+            fig12_to_dict,
+            format_fig12,
+            run_fig12,
+        )
 
-        print(format_fig12(run_fig12(packets_per_run=args.ops, runs=args.runs)))
+        result = run_fig12(packets_per_run=args.ops, runs=args.runs, seed=seed)
+        if args.json:
+            return _emit_json(fig12_to_dict(result))
+        print(format_fig12(result))
         return 0
     if number in (1, 13, 14):
+        from repro.experiments.nfv_common import comparison_to_dict
+
         if number == 13:
             from repro.experiments.fig13_forwarding import format_fig13 as fmt
             from repro.experiments.fig13_forwarding import run_fig13 as run
         else:
             from repro.experiments.fig14_service_chain import format_fig14 as fmt
             from repro.experiments.fig14_service_chain import run_fig14 as run
-        print(
-            fmt(
-                run(
-                    offered_gbps=args.offered,
-                    n_bulk_packets=args.bulk,
-                    micro_packets=args.micro,
-                    runs=args.runs,
-                )
-            )
+        results = run(
+            offered_gbps=args.offered,
+            n_bulk_packets=args.bulk,
+            micro_packets=args.micro,
+            runs=args.runs,
+            seed=seed,
         )
+        if args.json:
+            return _emit_json(comparison_to_dict(results))
+        print(fmt(results))
         return 0
     if number == 15:
-        from repro.experiments.fig15_knee import format_fig15, run_fig15
-
-        print(
-            format_fig15(
-                run_fig15(n_bulk_packets=args.bulk, micro_packets=args.micro)
-            )
+        from repro.experiments.fig15_knee import (
+            fig15_to_dict,
+            format_fig15,
+            run_fig15,
         )
+
+        result = run_fig15(
+            n_bulk_packets=args.bulk, micro_packets=args.micro, seed=seed
+        )
+        if args.json:
+            return _emit_json(fig15_to_dict(result))
+        print(format_fig15(result))
         return 0
     if number == 17:
-        from repro.experiments.fig17_isolation import format_fig17, run_fig17
+        from repro.experiments.fig17_isolation import (
+            fig17_to_dict,
+            format_fig17,
+            run_fig17,
+        )
 
-        print(format_fig17(run_fig17(n_ops=args.ops)))
+        result = run_fig17(n_ops=args.ops, seed=seed)
+        if args.json:
+            return _emit_json(fig17_to_dict(result))
+        print(format_fig17(result))
         return 0
     print(f"no driver for figure {number}", file=sys.stderr)
     return 2
 
 
 def _cmd_headroom(args: argparse.Namespace) -> int:
-    from repro.experiments.headroom import format_headroom, run_headroom_experiment
+    from repro.experiments.headroom import (
+        format_headroom,
+        headroom_to_dict,
+        run_headroom_experiment,
+    )
 
-    print(format_headroom(run_headroom_experiment(n_packets=args.packets)))
+    result = run_headroom_experiment(n_packets=args.packets, seed=args.seed)
+    if args.json:
+        return _emit_json(headroom_to_dict(result))
+    print(format_headroom(result))
     return 0
 
 
@@ -157,43 +238,63 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
 
     name = args.which
+    seed = args.seed
     if name == "ddio":
-        print(ablations.format_ddio_ablation(ablations.run_ddio_ways_ablation()))
+        result = ablations.run_ddio_ways_ablation(seed=seed)
+        serializer, formatter = (
+            ablations.ddio_ablation_to_dict,
+            ablations.format_ddio_ablation,
+        )
     elif name == "prefetcher":
-        print(
-            ablations.format_prefetcher_ablation(ablations.run_prefetcher_ablation())
+        result = ablations.run_prefetcher_ablation(seed=seed)
+        serializer, formatter = (
+            ablations.prefetcher_ablation_to_dict,
+            ablations.format_prefetcher_ablation,
         )
     elif name == "replacement":
-        print(
-            ablations.format_replacement_ablation(
-                ablations.run_replacement_ablation()
-            )
+        result = ablations.run_replacement_ablation(seed=seed)
+        serializer, formatter = (
+            ablations.replacement_ablation_to_dict,
+            ablations.format_replacement_ablation,
         )
     elif name == "migration":
-        print(
-            ablations.format_migration_experiment(
-                ablations.run_migration_experiment()
-            )
+        result = ablations.run_migration_experiment(seed=seed)
+        serializer, formatter = (
+            ablations.migration_experiment_to_dict,
+            ablations.format_migration_experiment,
         )
     elif name == "value-size":
-        print(
-            ablations.format_value_size_ablation(ablations.run_value_size_ablation())
+        result = ablations.run_value_size_ablation(seed=seed)
+        serializer, formatter = (
+            ablations.value_size_ablation_to_dict,
+            ablations.format_value_size_ablation,
         )
     elif name == "mtu":
-        print(ablations.format_mtu_eviction(ablations.run_mtu_eviction_experiment()))
+        result = ablations.run_mtu_eviction_experiment(seed=seed)
+        serializer, formatter = (
+            ablations.mtu_eviction_to_dict,
+            ablations.format_mtu_eviction,
+        )
     elif name == "rx-strategies":
-        print(
-            ablations.format_rx_strategies(ablations.run_rx_strategy_comparison())
+        result = ablations.run_rx_strategy_comparison(seed=seed)
+        serializer, formatter = (
+            ablations.rx_strategies_to_dict,
+            ablations.format_rx_strategies,
         )
     elif name == "multitenant":
         from repro.experiments.multitenant import (
             format_multitenant,
+            multitenant_to_dict,
             run_multitenant_experiment,
         )
 
-        print(format_multitenant(run_multitenant_experiment()))
+        result = run_multitenant_experiment(seed=seed)
+        serializer, formatter = multitenant_to_dict, format_multitenant
     else:  # pragma: no cover - argparse restricts choices
         return 2
+    if args.json:
+        return _emit_json(serializer(result))
+    print(formatter(result))
     return 0
 
 
@@ -212,14 +313,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", choices=sorted(MACHINES), default="haswell")
     p.add_argument("--core", type=int, default=0)
     p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit the JSON payload")
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("recover-hash", help="reverse-engineer the hash (Fig. 4)")
     p.add_argument("--verify", type=int, default=256, help="verification sweep size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit the JSON payload")
     p.set_defaults(func=_cmd_recover_hash)
 
     p = sub.add_parser("table", help="print a paper table")
     p.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    p.add_argument(
+        "--bulk", type=int, default=20_000, help="table 3: bulk packets per arm"
+    )
+    p.add_argument(
+        "--micro", type=int, default=500, help="table 3: microsim packets"
+    )
+    p.add_argument("--runs", type=int, default=1, help="table 3: runs per arm")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit the JSON payload")
     p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("fig", help="run a paper figure's experiment")
@@ -231,10 +345,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bulk", type=int, default=150_000, help="bulk packets per run")
     p.add_argument("--micro", type=int, default=2500, help="microsim packets")
     p.add_argument("--verify", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit the JSON payload")
     p.set_defaults(func=_cmd_fig)
 
     p = sub.add_parser("headroom", help="dynamic headroom distribution (§4.2)")
     p.add_argument("--packets", type=int, default=8000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit the JSON payload")
     p.set_defaults(func=_cmd_headroom)
 
     p = sub.add_parser("ablation", help="run a design ablation")
@@ -251,7 +369,13 @@ def build_parser() -> argparse.ArgumentParser:
             "multitenant",
         ),
     )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit the JSON payload")
     p.set_defaults(func=_cmd_ablation)
+
+    from repro.lab.cli import add_lab_parser
+
+    add_lab_parser(sub)
 
     return parser
 

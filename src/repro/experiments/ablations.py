@@ -574,3 +574,79 @@ def format_rx_strategies(results: Dict[str, RxStrategyResult]) -> str:
             f"| {r.data_room_bytes:>6} B"
         )
     return "\n".join(out)
+# ----------------------------------------------------------------------
+# JSON serializers (lab artifacts and CLI --json)
+# ----------------------------------------------------------------------
+
+def ddio_ablation_to_dict(results: Dict[int, float]) -> dict:
+    """JSON-ready form of the DDIO-ways ablation."""
+    return {
+        "cycles_per_packet": {
+            str(ways): float(c) for ways, c in sorted(results.items())
+        }
+    }
+
+
+def prefetcher_ablation_to_dict(result: PrefetcherAblationResult) -> dict:
+    """JSON-ready form of the prefetcher ablation."""
+    return {
+        "cycles": {k: float(v) for k, v in sorted(result.cycles.items())},
+        "speedup_pct": {
+            f"{pattern}/{placement}": float(result.speedup(pattern, placement))
+            for pattern in ("sequential", "random")
+            for placement in ("normal", "slice")
+        },
+    }
+
+
+def replacement_ablation_to_dict(
+    results: Dict[str, Dict[str, float]]
+) -> dict:
+    """JSON-ready form of the replacement-policy ablation."""
+    return {
+        policy: {k: float(v) for k, v in row.items()}
+        for policy, row in results.items()
+    }
+
+
+def migration_experiment_to_dict(result: MigrationExperimentResult) -> dict:
+    """JSON-ready form of the hot-set migration experiment."""
+    return {
+        "normal": float(result.normal),
+        "static_slice": float(result.static_slice),
+        "migrating": float(result.migrating),
+        "promotions": int(result.promotions),
+        "migration_gain_pct": float(result.migration_gain_pct()),
+    }
+
+
+def value_size_ablation_to_dict(
+    results: Dict[int, Dict[str, float]]
+) -> dict:
+    """JSON-ready form of the multi-line-value ablation."""
+    return {
+        str(size): {k: float(v) for k, v in row.items()}
+        for size, row in sorted(results.items())
+    }
+
+
+def mtu_eviction_to_dict(result: MtuEvictionResult) -> dict:
+    """JSON-ready form of the MTU/DDIO eviction experiment."""
+    return {
+        "headers_checked": int(result.headers_checked),
+        "still_in_llc": int(result.still_in_llc),
+        "mean_read_cycles": float(result.mean_read_cycles),
+        "eviction_fraction": float(result.eviction_fraction),
+    }
+
+
+def rx_strategies_to_dict(results: Dict[str, RxStrategyResult]) -> dict:
+    """JSON-ready form of the RX placement-strategy comparison."""
+    return {
+        name: {
+            "match_fraction": float(r.match_fraction),
+            "fallback_fraction": float(r.fallback_fraction),
+            "data_room_bytes": int(r.data_room_bytes),
+        }
+        for name, r in results.items()
+    }

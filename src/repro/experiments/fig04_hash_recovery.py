@@ -94,3 +94,14 @@ def format_fig04(result: HashRecoveryResult, max_bit: int = 30) -> str:
         f"matches ground truth: {result.ground_truth_match}"
     )
     return "\n".join(lines)
+def fig04_to_dict(result: HashRecoveryResult) -> dict:
+    """JSON-ready form of the recovery outcome (lab/CLI ``--json``)."""
+    return {
+        "masks": [int(m) for m in result.recovered.hash.masks],
+        "probed_bits": [int(b) for b in result.recovered.probed_bits],
+        "ambiguous_bits": [int(b) for b in result.recovered.ambiguous_bits],
+        "residual": int(result.recovered.residual),
+        "match_fraction": float(result.match_fraction),
+        "ground_truth_match": bool(result.ground_truth_match),
+        "addresses_polled": int(result.addresses_polled),
+    }

@@ -218,3 +218,34 @@ def format_fig07(result: OpsSweepResult, spec: MachineSpec = HASWELL_E5_2667V3) 
                 f"{label(size):<13} | {normal:>11.1f} | {aware:>16.1f} | {gain:>+6.1f}"
             )
     return "\n".join(out)
+def merge_ops_sweeps(parts: List[OpsSweepResult]) -> OpsSweepResult:
+    """Concatenate per-size sweep results back into one sweep.
+
+    Each size point runs against fresh contexts with seed-derived
+    RNGs, so a sweep over ``[a, b]`` equals the concatenation of the
+    sweeps over ``[a]`` and ``[b]`` bit-for-bit — which is what lets
+    the lab runner fan the Fig. 7 x-axis out across workers.
+    """
+    merged = OpsSweepResult(sizes=[], normal_mops={}, slice_mops={})
+    for part in parts:
+        merged.sizes.extend(part.sizes)
+        for op, series in part.normal_mops.items():
+            merged.normal_mops.setdefault(op, []).extend(series)
+        for op, series in part.slice_mops.items():
+            merged.slice_mops.setdefault(op, []).extend(series)
+    return merged
+
+
+def fig07_to_dict(result: OpsSweepResult) -> dict:
+    """JSON-ready form of the OPS sweep (lab/CLI ``--json``)."""
+    return {
+        "sizes": [int(s) for s in result.sizes],
+        "normal_mops": {
+            op: [float(v) for v in series]
+            for op, series in result.normal_mops.items()
+        },
+        "slice_mops": {
+            op: [float(v) for v in series]
+            for op, series in result.slice_mops.items()
+        },
+    }

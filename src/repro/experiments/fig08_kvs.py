@@ -110,3 +110,13 @@ def format_fig08(result: KvsFigureResult) -> str:
             f"(paper: ~160 vs ~194)"
         )
     return "\n".join(out)
+def fig08_to_dict(result: KvsFigureResult) -> dict:
+    """JSON-ready form; tuple keys become ``dist/placement/mix``."""
+    return {
+        "tps_millions": {
+            "/".join(key): float(v) for key, v in sorted(result.tps.items())
+        },
+        "cycles_per_request": {
+            "/".join(key): float(v) for key, v in sorted(result.cycles.items())
+        },
+    }

@@ -83,3 +83,10 @@ def format_fig12(result: LowRateResult) -> str:
         + " | ".join(f"{imp[f'p{q}_rel'] * 100:>5.2f}%" for q in (75, 90, 95, 99))
     )
     return "\n".join(out)
+def fig12_to_dict(result: LowRateResult) -> dict:
+    """JSON-ready form of the low-rate comparison (lab/CLI ``--json``)."""
+    return {
+        "dpdk": result.dpdk.to_dict(),
+        "cachedirector": result.cachedirector.to_dict(),
+        "improvement": result.cachedirector.improvement_over(result.dpdk),
+    }

@@ -8,8 +8,37 @@ from repro.experiments.nfv_common import (
     NfvExperimentResult,
     compare_cache_director,
     format_comparison,
+    run_nfv_experiment,
 )
 from repro.net.chain import simple_forwarding_chain
+
+
+def run_fig13_arm(
+    cache_director: bool,
+    offered_gbps: float = 100.0,
+    n_bulk_packets: int = 300_000,
+    micro_packets: int = 4000,
+    runs: int = 3,
+    seed: int = 0,
+    engine: str = "reference",
+) -> NfvExperimentResult:
+    """One arm (DPDK or +CacheDirector) of Fig. 13, independently runnable.
+
+    Splitting the comparison into its two arms lets the lab runner
+    execute them in parallel; each arm is exactly what
+    :func:`run_fig13` computes for it.
+    """
+    return run_nfv_experiment(
+        simple_forwarding_chain,
+        cache_director,
+        "rss",
+        offered_gbps=offered_gbps,
+        n_bulk_packets=n_bulk_packets,
+        micro_packets=micro_packets,
+        runs=runs,
+        seed=seed,
+        engine=engine,
+    )
 
 
 def run_fig13(

@@ -16,9 +16,32 @@ from repro.experiments.nfv_common import (
     NfvExperimentResult,
     compare_cache_director,
     format_comparison,
+    run_nfv_experiment,
 )
 from repro.net.chain import router_napt_lb_chain
 from repro.stats.percentiles import cdf_points
+
+
+def run_fig14_arm(
+    cache_director: bool,
+    offered_gbps: float = 100.0,
+    n_bulk_packets: int = 300_000,
+    micro_packets: int = 4000,
+    runs: int = 3,
+    hw_offload: bool = True,
+    seed: int = 0,
+) -> NfvExperimentResult:
+    """One arm of Fig. 14, independently runnable (see Fig. 13's twin)."""
+    return run_nfv_experiment(
+        lambda: router_napt_lb_chain(hw_offload=hw_offload),
+        cache_director,
+        "flow-director",
+        offered_gbps=offered_gbps,
+        n_bulk_packets=n_bulk_packets,
+        micro_packets=micro_packets,
+        runs=runs,
+        seed=seed,
+    )
 
 
 def run_fig14(

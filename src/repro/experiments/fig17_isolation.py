@@ -175,3 +175,11 @@ def format_fig17(result: IsolationResult) -> str:
         f"write {result.slice_vs_cat_pct('write'):+.1f}% (paper: ~11.5/11.8 %)"
     )
     return "\n".join(out)
+def fig17_to_dict(result: IsolationResult) -> dict:
+    """JSON-ready form of the isolation scenarios (lab/CLI ``--json``)."""
+    return {
+        "read_seconds": {k: float(v) for k, v in result.read_seconds.items()},
+        "write_seconds": {k: float(v) for k, v in result.write_seconds.items()},
+        "slice_vs_cat_read_pct": float(result.slice_vs_cat_pct("read")),
+        "slice_vs_cat_write_pct": float(result.slice_vs_cat_pct("write")),
+    }

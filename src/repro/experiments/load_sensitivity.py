@@ -86,3 +86,18 @@ def format_load_sensitivity(points: List[SensitivityPoint]) -> str:
             f"| {p.improvement_us:>9.2f} | {p.improvement_pct:>7.2f}"
         )
     return "\n".join(out)
+def load_sensitivity_to_dict(points: List[SensitivityPoint]) -> dict:
+    """JSON-ready form of the load sweep (lab/CLI ``--json``)."""
+    return {
+        "points": [
+            {
+                "offered_gbps": float(p.offered_gbps),
+                "achieved_gbps": float(p.achieved_gbps),
+                "p99_dpdk_us": float(p.p99_dpdk_us),
+                "p99_cd_us": float(p.p99_cd_us),
+                "improvement_us": float(p.improvement_us),
+                "improvement_pct": float(p.improvement_pct),
+            }
+            for p in points
+        ]
+    }

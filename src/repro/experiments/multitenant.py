@@ -150,3 +150,14 @@ def format_multitenant(results: Dict[str, TenantResult]) -> str:
             f"| {result.unfairness:9.2f}"
         )
     return "\n".join(out)
+def multitenant_to_dict(results: Dict[str, TenantResult]) -> dict:
+    """JSON-ready form of the per-policy results (lab/CLI ``--json``)."""
+    return {
+        policy: {
+            "tenant_cycles": [float(c) for c in r.tenant_cycles],
+            "mean": float(r.mean),
+            "worst": float(r.worst),
+            "unfairness": float(r.unfairness),
+        }
+        for policy, r in results.items()
+    }

@@ -171,6 +171,55 @@ def compare_cache_director(
     }
 
 
+def merge_arms(
+    arms: Sequence[NfvExperimentResult],
+) -> Dict[str, NfvExperimentResult]:
+    """Assemble the ``(dpdk, cachedirector)`` pair a comparison returns.
+
+    Used by the lab runner to recombine the two arms after running
+    them as independent parallel tasks; ``arms`` must be ordered like
+    :func:`compare_cache_director` runs them (DPDK first).
+    """
+    if len(arms) != 2:
+        raise ValueError(f"expected 2 arms, got {len(arms)}")
+    return {"dpdk": arms[0], "cachedirector": arms[1]}
+
+
+def nfv_result_to_dict(result: NfvExperimentResult) -> Dict[str, object]:
+    """JSON-ready form of one configuration's outcome.
+
+    The raw per-packet latency array is summarised as a downsampled
+    CDF rather than dumped verbatim — runs keep artifacts small while
+    still persisting the Fig. 14a curve shape.
+    """
+    from repro.stats.percentiles import cdf_points
+
+    xs, fs = cdf_points(result.latencies_us, n_points=21)
+    return {
+        "summary": result.summary.to_dict(),
+        "achieved_gbps": result.achieved_gbps,
+        "offered_gbps": result.offered_gbps,
+        "drop_fraction": result.drop_fraction,
+        "mean_service_ns": result.mean_service_ns,
+        "run_summaries": [s.to_dict() for s in (result.run_summaries or [])],
+        "latency_cdf_us": [float(x) for x in xs],
+        "latency_cdf_f": [float(f) for f in fs],
+    }
+
+
+def comparison_to_dict(
+    results: Dict[str, NfvExperimentResult]
+) -> Dict[str, object]:
+    """JSON-ready form of a DPDK-vs-CacheDirector comparison."""
+    base = results["dpdk"]
+    cd = results["cachedirector"]
+    return {
+        "dpdk": nfv_result_to_dict(base),
+        "cachedirector": nfv_result_to_dict(cd),
+        "improvement": cd.summary.improvement_over(base.summary),
+    }
+
+
 def format_comparison(
     results: Dict[str, NfvExperimentResult], title: str
 ) -> str:

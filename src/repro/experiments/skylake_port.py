@@ -74,3 +74,14 @@ def format_skylake_port(results: Dict[str, PortResult]) -> str:
             f"| {r.saving_cycles:>5.1f} ({r.saving_pct:+.2f}%)"
         )
     return "\n".join(out)
+def skylake_port_to_dict(results: Dict[str, PortResult]) -> dict:
+    """JSON-ready form of the cross-machine results (lab/CLI ``--json``)."""
+    return {
+        name: {
+            "base_cycles": float(r.base_cycles),
+            "cachedirector_cycles": float(r.cachedirector_cycles),
+            "saving_cycles": float(r.saving_cycles),
+            "saving_pct": float(r.saving_pct),
+        }
+        for name, r in results.items()
+    }

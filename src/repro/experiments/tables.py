@@ -124,3 +124,116 @@ def format_table4(spec: MachineSpec = SKYLAKE_GOLD_6134) -> str:
         secondary_label = ", ".join(f"S{s}" for s in secondaries)
         out.append(f"C{core:<3} | S{primary:<6} | {secondary_label}")
     return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# Runners + JSON serializers (lab artifacts and CLI --json)
+# ----------------------------------------------------------------------
+
+def run_table1(spec: MachineSpec = HASWELL_E5_2667V3) -> List[Tuple[str, str, int, int, str]]:
+    """Table 1 as data (the lab-registered runner)."""
+    return table1_rows(spec)
+
+
+def table1_to_dict(rows: List[Tuple[str, str, int, int, str]]) -> dict:
+    """JSON-ready form of Table 1."""
+    return {
+        "rows": [
+            {
+                "level": level,
+                "size": size,
+                "ways": int(ways),
+                "sets": int(sets),
+                "index_bits": bits,
+            }
+            for level, size, ways, sets, bits in rows
+        ]
+    }
+
+
+def run_table2() -> list:
+    """Table 2 as data (the lab-registered runner)."""
+    return list(TABLE2_CLASSES)
+
+
+def table2_to_dict(classes: list) -> dict:
+    """JSON-ready form of Table 2."""
+    return {
+        "classes": [
+            {
+                "label": cls.label,
+                "packet_size": int(cls.packet_size),
+                "rate_pps": float(cls.rate_pps),
+                "rate_gbps": float(cls.rate_gbps),
+            }
+            for cls in classes
+        ]
+    }
+
+
+def run_table3(
+    offered_gbps: float = 100.0,
+    n_bulk_packets: int = 60_000,
+    micro_packets: int = 1500,
+    runs: int = 1,
+    seed: int = 0,
+) -> List[Table3Row]:
+    """Compute Table 3 by driving the Fig. 13/14 runners.
+
+    Defaults use reduced packet counts so the table is cheap to print
+    from the CLI; the paper-scale numbers come from the benchmark
+    suite (or ``repro fig 13``/``fig 14`` at full counts).
+    """
+    from repro.experiments.fig13_forwarding import run_fig13
+    from repro.experiments.fig14_service_chain import run_fig14
+
+    forwarding = run_fig13(
+        offered_gbps=offered_gbps,
+        n_bulk_packets=n_bulk_packets,
+        micro_packets=micro_packets,
+        runs=runs,
+        seed=seed,
+        engine="fast",
+    )
+    service_chain = run_fig14(
+        offered_gbps=offered_gbps,
+        n_bulk_packets=n_bulk_packets,
+        micro_packets=micro_packets,
+        runs=runs,
+        seed=seed,
+    )
+    return table3_rows(forwarding, service_chain)
+
+
+def table3_to_dict(rows: List[Table3Row]) -> dict:
+    """JSON-ready form of Table 3."""
+    return {
+        "rows": [
+            {
+                "scenario": row.scenario,
+                "throughput_gbps": float(row.throughput_gbps),
+                "improvement_mbps": float(row.improvement_mbps),
+            }
+            for row in rows
+        ]
+    }
+
+
+def run_table4(spec: MachineSpec = SKYLAKE_GOLD_6134) -> dict:
+    """Table 4 as data (the lab-registered runner)."""
+    table = derive_preference_table(spec.interconnect_factory())
+    return {
+        "machine": spec.name,
+        "preferable": {
+            str(core): {
+                "primary": int(primary),
+                "secondary": [int(s) for s in secondaries],
+            }
+            for core, (primary, secondaries) in sorted(table.items())
+        },
+    }
+
+
+def table4_to_dict(result: dict) -> dict:
+    """JSON-ready form of Table 4 (already plain data)."""
+    return result

@@ -89,3 +89,16 @@ def format_traffic_classes(points: List[TrafficClassPoint]) -> str:
             f"| {p.improvement_p99_us() * 1e3:>5.1f} ns"
         )
     return "\n".join(out)
+def traffic_classes_to_dict(points: List[TrafficClassPoint]) -> dict:
+    """JSON-ready form of the per-size sweep (lab/CLI ``--json``)."""
+    return {
+        "points": [
+            {
+                "packet_size": int(p.packet_size),
+                "dpdk": p.dpdk.to_dict(),
+                "cachedirector": p.cachedirector.to_dict(),
+                "improvement_p99_us": float(p.improvement_p99_us()),
+            }
+            for p in points
+        ]
+    }

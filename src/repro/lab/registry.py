@@ -1,0 +1,434 @@
+"""The default experiment registry: every CLI-reachable entry point.
+
+Names mirror the CLI surface: ``figNN`` for ``repro fig NN``,
+``tableN`` for ``repro table N``, ``headroom``, ``ablation-<which>``
+for ``repro ablation <which>``, plus the extension experiments the CLI
+does not expose (tagged ``extension``).
+
+Reduced parameters are sized so the whole matrix finishes in about a
+minute serially — small enough for CI smoke, large enough that every
+figure keeps its shape.  ``fig05``/``fig06``/``table4`` reduced
+parameters deliberately equal the golden-baseline parameters in
+``tests/golden/`` so ``repro lab compare <run> tests/golden`` checks
+real numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.lab.spec import ExperimentSpec, Registry, SplitSpec
+
+_REGISTRY: Optional[Registry] = None
+
+
+# ----------------------------------------------------------------------
+# Split helpers (module-level so worker processes can resolve them)
+# ----------------------------------------------------------------------
+
+def _fig07_tasks(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """One task per array size of the Fig. 7 sweep."""
+    from repro.experiments.fig07_ops_sweep import PAPER_SIZES
+
+    base = dict(params)
+    sizes = base.pop("sizes", None) or list(PAPER_SIZES)
+    return [dict(base, sizes=[size]) for size in sizes]
+
+
+def _fig07_merge(params: Mapping[str, Any], results: Sequence[Any]) -> Any:
+    from repro.experiments.fig07_ops_sweep import merge_ops_sweeps
+
+    return merge_ops_sweeps(list(results))
+
+
+def _arm_tasks(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """DPDK vs +CacheDirector as two independent tasks."""
+    return [
+        dict(params, cache_director=False),
+        dict(params, cache_director=True),
+    ]
+
+
+def _arm_merge(params: Mapping[str, Any], results: Sequence[Any]) -> Any:
+    from repro.experiments.nfv_common import merge_arms
+
+    return merge_arms(list(results))
+
+
+def _fig15_tasks(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """One task per (configuration, offered load) sweep point."""
+    from repro.experiments.fig15_knee import DEFAULT_LOADS
+
+    base = dict(params)
+    loads = base.pop("loads_gbps", None) or list(DEFAULT_LOADS)
+    base.pop("knee_gbps", None)
+    return [
+        dict(base, cache_director=cache_director, load_gbps=load)
+        for cache_director in (False, True)
+        for load in loads
+    ]
+
+
+def _fig15_merge(params: Mapping[str, Any], results: Sequence[Any]) -> Any:
+    from repro.experiments.fig15_knee import DEFAULT_LOADS, assemble_fig15
+
+    loads = params.get("loads_gbps") or list(DEFAULT_LOADS)
+    n = len(loads)
+    return assemble_fig15(
+        results[:n], results[n:], knee_gbps=params.get("knee_gbps")
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry construction
+# ----------------------------------------------------------------------
+
+def _build() -> Registry:
+    # Imports stay inside the builder: ``repro lab list`` and worker
+    # start-up pay for them once, and nothing leaks at module import.
+    from repro.experiments import ablations
+    from repro.experiments import tables
+    from repro.experiments.fig04_hash_recovery import fig04_to_dict, run_fig04
+    from repro.experiments.fig05_access_time import (
+        profile_to_dict,
+        run_fig05,
+        run_fig16,
+    )
+    from repro.experiments.fig06_speedup import fig06_to_dict, run_fig06
+    from repro.experiments.fig07_ops_sweep import fig07_to_dict, run_fig07
+    from repro.experiments.fig08_kvs import fig08_to_dict, run_fig08
+    from repro.experiments.fig12_low_rate import fig12_to_dict, run_fig12
+    from repro.experiments.fig13_forwarding import run_fig13, run_fig13_arm
+    from repro.experiments.fig14_service_chain import run_fig14, run_fig14_arm
+    from repro.experiments.fig15_knee import (
+        fig15_to_dict,
+        run_fig15,
+        run_fig15_point,
+    )
+    from repro.experiments.fig17_isolation import fig17_to_dict, run_fig17
+    from repro.experiments.headroom import (
+        headroom_to_dict,
+        run_headroom_experiment,
+    )
+    from repro.experiments.load_sensitivity import (
+        load_sensitivity_to_dict,
+        run_load_sensitivity,
+    )
+    from repro.experiments.multitenant import (
+        multitenant_to_dict,
+        run_multitenant_experiment,
+    )
+    from repro.experiments.nfv_common import comparison_to_dict
+    from repro.experiments.skylake_port import (
+        run_skylake_port,
+        skylake_port_to_dict,
+    )
+    from repro.experiments.traffic_classes import (
+        run_traffic_class_sweep,
+        traffic_classes_to_dict,
+    )
+
+    registry = Registry()
+
+    registry.register(ExperimentSpec(
+        name="fig04",
+        title="Fig. 4 — Complex Addressing hash recovery",
+        runner=run_fig04,
+        serializer=fig04_to_dict,
+        default_params={"n_bases": 4, "verify_addresses": 512},
+        reduced_params={"verify_addresses": 128},
+    ))
+    registry.register(ExperimentSpec(
+        name="fig05",
+        title="Fig. 5 — per-slice access time (Haswell)",
+        runner=run_fig05,
+        serializer=profile_to_dict,
+        # Matches tests/golden/fig05_latency.json at both scales.
+        default_params={"core": 0, "runs": 3},
+        reduced_params={},
+    ))
+    registry.register(ExperimentSpec(
+        name="fig06",
+        title="Fig. 6 — slice-aware allocation speedup",
+        runner=run_fig06,
+        serializer=fig06_to_dict,
+        # Matches tests/golden/fig06_speedup.json at both scales.
+        default_params={"core": 0, "n_ops": 2000},
+        reduced_params={},
+    ))
+    registry.register(ExperimentSpec(
+        name="fig07",
+        title="Fig. 7 — OPS vs working-set size (8 cores)",
+        runner=run_fig07,
+        serializer=fig07_to_dict,
+        default_params={"n_ops": 1000, "engine": "fast"},
+        reduced_params={
+            "n_ops": 200,
+            "sizes": [128 * 1024, 512 * 1024, 2 << 20],
+            "engine": "fast",
+        },
+        split=SplitSpec(
+            task_runner=run_fig07,
+            make_tasks=_fig07_tasks,
+            merge=_fig07_merge,
+        ),
+        tags=("sweep",),
+    ))
+    registry.register(ExperimentSpec(
+        name="fig08",
+        title="Fig. 8 — slice-aware KVS TPS",
+        runner=run_fig08,
+        serializer=fig08_to_dict,
+        default_params={"warmup_requests": 60_000, "measured_requests": 12_000},
+        reduced_params={
+            "n_keys": 1 << 18,
+            "warmup_requests": 3_000,
+            "measured_requests": 800,
+        },
+    ))
+    registry.register(ExperimentSpec(
+        name="fig12",
+        title="Fig. 12 — DuT latency at 1000 pps",
+        runner=run_fig12,
+        serializer=fig12_to_dict,
+        default_params={"packets_per_run": 2000, "runs": 3},
+        reduced_params={"packets_per_run": 400, "runs": 2},
+    ))
+    registry.register(ExperimentSpec(
+        name="fig13",
+        title="Fig. 13 — simple forwarding @ 100 Gbps (RSS)",
+        runner=run_fig13,
+        serializer=comparison_to_dict,
+        default_params={
+            "offered_gbps": 100.0,
+            "n_bulk_packets": 150_000,
+            "micro_packets": 2500,
+            "runs": 2,
+            "engine": "fast",
+        },
+        reduced_params={
+            "offered_gbps": 100.0,
+            "n_bulk_packets": 20_000,
+            "micro_packets": 500,
+            "runs": 1,
+            "engine": "fast",
+        },
+        split=SplitSpec(
+            task_runner=run_fig13_arm,
+            make_tasks=_arm_tasks,
+            merge=_arm_merge,
+        ),
+        tags=("sweep",),
+    ))
+    registry.register(ExperimentSpec(
+        name="fig14",
+        title="Figs. 1 & 14 — Router-NAPT-LB @ 100 Gbps (FlowDirector)",
+        runner=run_fig14,
+        serializer=comparison_to_dict,
+        default_params={
+            "offered_gbps": 100.0,
+            "n_bulk_packets": 150_000,
+            "micro_packets": 2500,
+            "runs": 2,
+        },
+        reduced_params={
+            "offered_gbps": 100.0,
+            "n_bulk_packets": 20_000,
+            "micro_packets": 500,
+            "runs": 1,
+        },
+        split=SplitSpec(
+            task_runner=run_fig14_arm,
+            make_tasks=_arm_tasks,
+            merge=_arm_merge,
+        ),
+        tags=("sweep",),
+    ))
+    registry.register(ExperimentSpec(
+        name="fig15",
+        title="Fig. 15 — p99 latency vs throughput knee",
+        runner=run_fig15,
+        serializer=fig15_to_dict,
+        default_params={"n_bulk_packets": 60_000, "micro_packets": 1500},
+        reduced_params={
+            "loads_gbps": [10.0, 20.0, 30.0, 45.0, 65.0, 90.0],
+            "n_bulk_packets": 15_000,
+            "micro_packets": 400,
+        },
+        split=SplitSpec(
+            task_runner=run_fig15_point,
+            make_tasks=_fig15_tasks,
+            merge=_fig15_merge,
+        ),
+        tags=("sweep",),
+    ))
+    registry.register(ExperimentSpec(
+        name="fig16",
+        title="Fig. 16 — per-slice access time (Skylake)",
+        runner=run_fig16,
+        serializer=profile_to_dict,
+        default_params={"core": 0, "runs": 5},
+        reduced_params={"runs": 3},
+    ))
+    registry.register(ExperimentSpec(
+        name="fig17",
+        title="Fig. 17 — slice-based isolation vs CAT",
+        runner=run_fig17,
+        serializer=fig17_to_dict,
+        default_params={"n_ops": 6000},
+        reduced_params={"n_ops": 1500},
+    ))
+    registry.register(ExperimentSpec(
+        name="headroom",
+        title="§4.2 — dynamic headroom distribution",
+        runner=run_headroom_experiment,
+        serializer=headroom_to_dict,
+        default_params={"n_packets": 20_000},
+        reduced_params={"n_packets": 3_000},
+    ))
+
+    registry.register(ExperimentSpec(
+        name="table1",
+        title="Table 1 — Haswell cache specification",
+        runner=tables.run_table1,
+        serializer=tables.table1_to_dict,
+        seeded=False,
+    ))
+    registry.register(ExperimentSpec(
+        name="table2",
+        title="Table 2 — traffic classes",
+        runner=tables.run_table2,
+        serializer=tables.table2_to_dict,
+        seeded=False,
+    ))
+    registry.register(ExperimentSpec(
+        name="table3",
+        title="Table 3 — throughput at 100 Gbps + improvement",
+        runner=tables.run_table3,
+        serializer=tables.table3_to_dict,
+        default_params={"n_bulk_packets": 60_000, "micro_packets": 1500, "runs": 1},
+        reduced_params={"n_bulk_packets": 20_000, "micro_packets": 500, "runs": 1},
+    ))
+    registry.register(ExperimentSpec(
+        name="table4",
+        title="Table 4 — preferable slices per core (Skylake)",
+        runner=tables.run_table4,
+        serializer=tables.table4_to_dict,
+        seeded=False,
+    ))
+
+    registry.register(ExperimentSpec(
+        name="ablation-ddio",
+        title="Ablation — DDIO ways vs service cycles",
+        runner=ablations.run_ddio_ways_ablation,
+        serializer=ablations.ddio_ablation_to_dict,
+        default_params={"micro_packets": 2000},
+        reduced_params={"micro_packets": 600},
+    ))
+    registry.register(ExperimentSpec(
+        name="ablation-prefetcher",
+        title="Ablation — L2 streamer prefetcher vs allocation",
+        runner=ablations.run_prefetcher_ablation,
+        serializer=ablations.prefetcher_ablation_to_dict,
+        default_params={"n_lines": 16384, "n_ops": 6000},
+        reduced_params={"n_lines": 4096, "n_ops": 1500},
+    ))
+    registry.register(ExperimentSpec(
+        name="ablation-replacement",
+        title="Ablation — LLC replacement policies",
+        runner=ablations.run_replacement_ablation,
+        serializer=ablations.replacement_ablation_to_dict,
+        default_params={},
+        reduced_params={"scan_lines": 1 << 17, "rounds": 4},
+    ))
+    registry.register(ExperimentSpec(
+        name="ablation-migration",
+        title="Ablation — hot-set migration vs static placement",
+        runner=ablations.run_migration_experiment,
+        serializer=ablations.migration_experiment_to_dict,
+        default_params={},
+        reduced_params={
+            "n_keys": 1 << 15,
+            "hot_keys": 1536,
+            "ops_per_phase": 20_000,
+        },
+    ))
+    registry.register(ExperimentSpec(
+        name="ablation-value-size",
+        title="Ablation — multi-line KVS values",
+        runner=ablations.run_value_size_ablation,
+        serializer=ablations.value_size_ablation_to_dict,
+        default_params={},
+        reduced_params={"warmup": 6_000, "measured": 1_500},
+    ))
+    registry.register(ExperimentSpec(
+        name="ablation-mtu",
+        title="Ablation — MTU frames vs DDIO eviction",
+        runner=ablations.run_mtu_eviction_experiment,
+        serializer=ablations.mtu_eviction_to_dict,
+        default_params={"queue_depth": 512},
+        reduced_params={"queue_depth": 256},
+    ))
+    registry.register(ExperimentSpec(
+        name="ablation-rx-strategies",
+        title="§4.2 — RX placement strategies",
+        runner=ablations.run_rx_strategy_comparison,
+        serializer=ablations.rx_strategies_to_dict,
+        default_params={"n_packets": 8000},
+        reduced_params={"n_packets": 3000},
+    ))
+    registry.register(ExperimentSpec(
+        name="ablation-multitenant",
+        title="Extension — multi-tenant LLC policies",
+        runner=run_multitenant_experiment,
+        serializer=multitenant_to_dict,
+        default_params={"n_ops": 4000},
+        reduced_params={"n_ops": 1200},
+    ))
+
+    registry.register(ExperimentSpec(
+        name="skylake-port",
+        title="§6 — CacheDirector across architectures",
+        runner=run_skylake_port,
+        serializer=skylake_port_to_dict,
+        default_params={"micro_packets": 2500},
+        reduced_params={"micro_packets": 600},
+        tags=("extension",),
+    ))
+    registry.register(ExperimentSpec(
+        name="load-sensitivity",
+        title="Extension — p99 gain vs offered load",
+        runner=run_load_sensitivity,
+        serializer=load_sensitivity_to_dict,
+        default_params={},
+        reduced_params={
+            "loads_gbps": [20.0, 55.0, 90.0],
+            "n_bulk_packets": 15_000,
+            "micro_packets": 400,
+        },
+        tags=("extension",),
+    ))
+    registry.register(ExperimentSpec(
+        name="traffic-classes",
+        title="Table 2 sweep — low-rate latency per packet size",
+        runner=run_traffic_class_sweep,
+        serializer=traffic_classes_to_dict,
+        default_params={"packets_per_class": 1500},
+        reduced_params={"packets_per_class": 400},
+        tags=("extension",),
+    ))
+
+    return registry
+
+
+def default_registry() -> Registry:
+    """The process-wide registry, built on first use.
+
+    Worker processes forked by the runner inherit the parent's
+    registry (including any test-injected specs); spawned workers
+    rebuild the default set on first lookup.
+    """
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build()
+    return _REGISTRY

@@ -1,0 +1,375 @@
+"""Parallel matrix runner: fan experiments out across worker processes.
+
+Execution model:
+
+* every experiment contributes one task — or several, when its spec
+  declares a :class:`~repro.lab.spec.SplitSpec` (the Fig. 7/13/14/15
+  sweeps split into independent size/arm/load points);
+* tasks run on a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``--jobs 1`` runs inline, same code path for computing results);
+* each task gets a per-task timeout enforced *inside* the worker via
+  ``SIGALRM`` — a stuck task raises instead of wedging the pool;
+* failures (exceptions, timeouts, worker crashes) are retried a
+  bounded number of times; a persistently failing experiment is
+  recorded as ``failed`` in the manifest and the rest of the matrix
+  still completes;
+* task seeds derive deterministically from the run's base seed, so
+  results are bit-identical regardless of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.lab.registry import default_registry
+from repro.lab.spec import ExperimentSpec
+
+
+class TaskTimeout(Exception):
+    """A task exceeded its per-task wall-clock budget."""
+
+
+TaskKey = Tuple[str, int]
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class LabTask:
+    """One schedulable unit: an experiment or one of its sub-tasks."""
+
+    experiment: str
+    index: int
+    total: int
+    params: Mapping[str, Any]
+    seed: Optional[int]
+
+    @property
+    def key(self) -> TaskKey:
+        return (self.experiment, self.index)
+
+    @property
+    def label(self) -> str:
+        if self.total == 1:
+            return self.experiment
+        return f"{self.experiment}[{self.index + 1}/{self.total}]"
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one task after all its attempts."""
+
+    task: LabTask
+    status: str  # "ok" | "failed"
+    attempts: int
+    duration_s: float
+    error: Optional[str] = None
+    result: Any = None
+
+
+@dataclass
+class ExperimentOutcome:
+    """Merged, serialized state of one experiment in the run."""
+
+    name: str
+    title: str
+    status: str  # "ok" | "failed"
+    params: Dict[str, Any]
+    seed: Optional[int]
+    tasks: int
+    attempts: int
+    duration_s: float
+    error: Optional[str] = None
+    result: Any = None          # merged result object (in-process use)
+    payload: Any = None         # JSON-ready serialized result
+
+
+@dataclass
+class RunReport:
+    """Everything one ``run_matrix`` invocation produced."""
+
+    seed: int
+    scale: str
+    jobs: int
+    timeout_s: Optional[float]
+    retries: int
+    wall_clock_s: float
+    experiments: Dict[str, ExperimentOutcome] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(e.status == "ok" for e in self.experiments.values())
+
+    def failed_names(self) -> List[str]:
+        return sorted(
+            name for name, e in self.experiments.items() if e.status != "ok"
+        )
+
+
+def _execute_task(
+    experiment: str,
+    index: int,
+    params: Mapping[str, Any],
+    seed: Optional[int],
+    timeout_s: Optional[float],
+) -> Tuple[Any, float]:
+    """Run one task to completion; worker-side (and inline) entry point.
+
+    Resolves the experiment from the process-local default registry —
+    forked workers inherit the parent's registrations.  The timeout is
+    an in-worker ``SIGALRM`` so an overrunning task raises
+    :class:`TaskTimeout` instead of blocking the pool.
+    """
+    spec = default_registry().get(experiment)
+    runner = spec.split.task_runner if spec.split is not None else spec.runner
+    kwargs = dict(params)
+    if spec.seeded and seed is not None:
+        kwargs.setdefault("seed", seed)
+    use_alarm = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    start = time.perf_counter()
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise TaskTimeout(
+                f"{experiment}[{index}] exceeded {timeout_s:g}s"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        result = runner(**kwargs)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return result, time.perf_counter() - start
+
+
+def _describe_error(exc: BaseException) -> str:
+    name = type(exc).__name__
+    text = str(exc) or "worker process died (likely crash or OOM kill)"
+    return f"{name}: {text}"
+
+
+def _pool_context():
+    """Prefer fork so workers share the parent's registry state."""
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _run_tasks_inline(
+    tasks: Sequence[LabTask],
+    timeout_s: Optional[float],
+    retries: int,
+    note: Callable[[LabTask, TaskOutcome], None],
+) -> Dict[TaskKey, TaskOutcome]:
+    outcomes: Dict[TaskKey, TaskOutcome] = {}
+    for task in tasks:
+        attempts = 0
+        while True:
+            attempts += 1
+            start = time.perf_counter()
+            try:
+                result, duration = _execute_task(
+                    task.experiment, task.index, task.params, task.seed, timeout_s
+                )
+                outcomes[task.key] = TaskOutcome(
+                    task, "ok", attempts, duration, result=result
+                )
+                break
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                if attempts <= retries:
+                    continue
+                outcomes[task.key] = TaskOutcome(
+                    task,
+                    "failed",
+                    attempts,
+                    time.perf_counter() - start,
+                    error=_describe_error(exc),
+                )
+                break
+        note(task, outcomes[task.key])
+    return outcomes
+
+
+def _run_tasks_pooled(
+    tasks: Sequence[LabTask],
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+    note: Callable[[LabTask, TaskOutcome], None],
+    retry_note: Callable[[LabTask, int, str], None],
+) -> Dict[TaskKey, TaskOutcome]:
+    outcomes: Dict[TaskKey, TaskOutcome] = {}
+    attempts: Dict[TaskKey, int] = {t.key: 0 for t in tasks}
+    context = _pool_context()
+    queue = deque(tasks)
+    while queue:
+        # One pool per round: a crashed worker breaks the pool, so any
+        # tasks it took down get retried on a fresh one.
+        batch = list(queue)
+        queue.clear()
+        executor = ProcessPoolExecutor(
+            max_workers=min(jobs, len(batch)), mp_context=context
+        )
+        futures = {
+            executor.submit(
+                _execute_task, t.experiment, t.index, t.params, t.seed, timeout_s
+            ): t
+            for t in batch
+        }
+        for future in as_completed(futures):
+            task = futures[future]
+            attempts[task.key] += 1
+            try:
+                result, duration = future.result()
+            except Exception as exc:  # noqa: BLE001 - includes BrokenProcessPool
+                error = _describe_error(exc)
+                if attempts[task.key] <= retries:
+                    queue.append(task)
+                    retry_note(task, attempts[task.key], error)
+                else:
+                    outcomes[task.key] = TaskOutcome(
+                        task, "failed", attempts[task.key], 0.0, error=error
+                    )
+                    note(task, outcomes[task.key])
+                continue
+            outcomes[task.key] = TaskOutcome(
+                task, "ok", attempts[task.key], duration, result=result
+            )
+            note(task, outcomes[task.key])
+        executor.shutdown(wait=True)
+    return outcomes
+
+
+def build_tasks(
+    spec: ExperimentSpec, params: Mapping[str, Any], base_seed: int
+) -> List[LabTask]:
+    """The task list one experiment contributes to the matrix."""
+    exp_seed = spec.seed_for(base_seed) if spec.seeded else None
+    if spec.split is None:
+        return [LabTask(spec.name, 0, 1, dict(params), exp_seed)]
+    subtasks = list(spec.split.make_tasks(params))
+    return [
+        LabTask(spec.name, i, len(subtasks), dict(sub), exp_seed)
+        for i, sub in enumerate(subtasks)
+    ]
+
+
+def run_matrix(
+    names: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    seed: int = 0,
+    scale: str = "reduced",
+    timeout_s: Optional[float] = None,
+    retries: int = 2,
+    params_override: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> RunReport:
+    """Run a set of registered experiments, optionally in parallel.
+
+    Args:
+        names: experiments to run (default: the whole registry).
+        jobs: worker processes; ``1`` executes inline.
+        seed: base seed every experiment's seed derives from.
+        scale: ``"reduced"`` (smoke-sized) or ``"full"`` parameters.
+        timeout_s: per-task wall-clock budget (``None`` = unlimited).
+        retries: extra attempts after a task fails/crashes/times out.
+        params_override: per-experiment parameter overrides, e.g.
+            ``{"fig13": {"n_bulk_packets": 4000}}``.
+        progress: callable receiving one line per task completion.
+
+    Returns:
+        A :class:`RunReport`; persist it with
+        :meth:`repro.lab.store.RunStore.write_report`.
+    """
+    registry = default_registry()
+    selected = list(names) if names else registry.names()
+    specs = [registry.get(name) for name in selected]
+
+    tasks: List[LabTask] = []
+    exp_params: Dict[str, Dict[str, Any]] = {}
+    for spec in specs:
+        params = spec.params_for(scale)
+        if params_override and spec.name in params_override:
+            params.update(params_override[spec.name])
+        exp_params[spec.name] = params
+        tasks.extend(build_tasks(spec, params, seed))
+
+    total = len(tasks)
+    done = [0]
+
+    def note(task: LabTask, outcome: TaskOutcome) -> None:
+        done[0] += 1
+        if progress is not None:
+            mark = "ok" if outcome.status == "ok" else f"FAILED ({outcome.error})"
+            progress(
+                f"[{done[0]}/{total}] {task.label}: {mark} "
+                f"({outcome.duration_s:.1f}s, attempt {outcome.attempts})"
+            )
+
+    def retry_note(task: LabTask, attempt: int, error: str) -> None:
+        if progress is not None:
+            progress(f"[retry] {task.label}: attempt {attempt} failed — {error}")
+
+    started = time.perf_counter()
+    if jobs <= 1:
+        outcomes = _run_tasks_inline(tasks, timeout_s, retries, note)
+    else:
+        outcomes = _run_tasks_pooled(
+            tasks, jobs, timeout_s, retries, note, retry_note
+        )
+    wall_clock_s = time.perf_counter() - started
+
+    report = RunReport(
+        seed=seed,
+        scale=scale,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        retries=retries,
+        wall_clock_s=wall_clock_s,
+    )
+    for spec in specs:
+        spec_tasks = [t for t in tasks if t.experiment == spec.name]
+        spec_outcomes = [outcomes[t.key] for t in spec_tasks]
+        total_attempts = sum(o.attempts for o in spec_outcomes)
+        total_duration = sum(o.duration_s for o in spec_outcomes)
+        failures = [o for o in spec_outcomes if o.status != "ok"]
+        outcome = ExperimentOutcome(
+            name=spec.name,
+            title=spec.title,
+            status="failed" if failures else "ok",
+            params=exp_params[spec.name],
+            seed=spec.seed_for(seed) if spec.seeded else None,
+            tasks=len(spec_tasks),
+            attempts=total_attempts,
+            duration_s=total_duration,
+        )
+        if failures:
+            outcome.error = "; ".join(
+                f"{o.task.label}: {o.error}" for o in failures
+            )
+        else:
+            results = [o.result for o in spec_outcomes]
+            merged = (
+                spec.split.merge(exp_params[spec.name], results)
+                if spec.split is not None
+                else results[0]
+            )
+            outcome.result = merged
+            outcome.payload = spec.serializer(merged)
+        report.experiments[spec.name] = outcome
+    return report

@@ -36,6 +36,14 @@ class LatencySummary:
     def __getitem__(self, q: float) -> float:
         return self.percentiles[q]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form; percentile keys become ``"p75"``-style."""
+        return {
+            "percentiles": {f"p{q:g}": v for q, v in self.percentiles.items()},
+            "mean": self.mean,
+            "count": self.count,
+        }
+
     def improvement_over(self, other: "LatencySummary") -> Dict[str, float]:
         """Absolute and relative improvement of *self* vs *other*.
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -46,9 +48,11 @@ class TestExecution:
         assert main(["table", "2"]) == 0
         assert "64B-L" in capsys.readouterr().out
 
-    def test_table3_redirects(self, capsys):
-        assert main(["table", "3"]) == 2
-        assert "fig 13" in capsys.readouterr().err
+    def test_table3_computes(self, capsys):
+        assert main(["table", "3", "--bulk", "4000", "--micro", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Simple Forwarding" in out
 
     def test_table4(self, capsys):
         assert main(["table", "4"]) == 0
@@ -71,3 +75,79 @@ class TestExecution:
     def test_headroom_smoke(self, capsys):
         assert main(["headroom", "--packets", "300"]) == 0
         assert "median" in capsys.readouterr().out
+
+
+class TestJsonAndSeed:
+    def test_fig6_json(self, capsys):
+        assert main(["fig", "6", "--ops", "300", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "read_speedup_pct" in payload
+        assert len(payload["read_speedup_pct"]) == 8
+
+    def test_table4_json(self, capsys):
+        assert main(["table", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["preferable"]["0"]["primary"] == 0
+
+    def test_headroom_json(self, capsys):
+        assert main(["headroom", "--packets", "300", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 300
+
+    def test_ablation_json(self, capsys):
+        assert main(["ablation", "ddio", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cycles_per_packet" in payload
+
+    def test_seed_flag_changes_headroom(self, capsys):
+        assert main(["headroom", "--packets", "300", "--seed", "0", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["headroom", "--packets", "300", "--seed", "1", "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_seed_zero_is_default(self, capsys):
+        assert main(["fig", "12", "--ops", "200", "--runs", "1", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert (
+            main(["fig", "12", "--ops", "200", "--runs", "1", "--seed", "0", "--json"])
+            == 0
+        )
+        assert first == capsys.readouterr().out
+
+
+class TestLabCli:
+    def test_lab_list(self, capsys):
+        assert main(["lab", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "ablation-ddio" in out
+
+    def test_lab_list_json(self, capsys):
+        assert main(["lab", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(e["name"] == "fig15" and e["parallel_split"] for e in payload)
+
+    def test_lab_run_requires_names(self, capsys):
+        assert main(["lab", "run"]) == 2
+
+    def test_lab_run_compare_report_cycle(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "run")
+        assert (
+            main(["lab", "run", "fig05", "table4", "--out", out_dir, "--quiet"]) == 0
+        )
+        assert "wrote" in capsys.readouterr().out
+        assert main(["lab", "report", out_dir]) == 0
+        assert "fig05" in capsys.readouterr().out
+        from pathlib import Path
+
+        golden = str(Path(__file__).parent / "golden")
+        assert main(["lab", "compare", out_dir, golden]) == 0
+        compare_out = capsys.readouterr().out
+        assert "RESULT: PASS" in compare_out
+
+    def test_lab_compare_self(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "run")
+        assert main(["lab", "run", "table1", "--out", out_dir, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["lab", "compare", out_dir, out_dir]) == 0
+        assert "RESULT: PASS" in capsys.readouterr().out

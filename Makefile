@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test diff-test bench bench-full quick examples figures lab lab-compare clean
+.PHONY: install test diff-test bench bench-full quick examples figures lab lab-compare check lint sanitize-lab clean
 
 LAB_DIR ?= lab-runs/latest
 LAB_JOBS ?= 4
@@ -50,6 +50,21 @@ lab:
 
 # Diff the latest lab run against the checked-in golden baselines.
 lab-compare:
+	$(PY) -m repro lab compare $(LAB_DIR) tests/golden
+
+# Static analysis of simulation invariants (see docs/CHECKS.md).
+check:
+	$(PY) -m repro check
+
+# check + ruff + mypy (ruff/mypy are optional extras: pip install -e .[lint]).
+lint: check
+	$(PY) -m ruff check src
+	$(PY) -m mypy
+
+# Full reduced-scale matrix under the runtime CacheSanitizer; the
+# compare step proves sanitizing never perturbs results.
+sanitize-lab:
+	RF_SANITIZE=1 $(PY) -m repro lab run --all --jobs $(LAB_JOBS) --scale reduced --out $(LAB_DIR)
 	$(PY) -m repro lab compare $(LAB_DIR) tests/golden
 
 clean:

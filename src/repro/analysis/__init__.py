@@ -1,0 +1,37 @@
+"""Static and dynamic checkers guarding the simulation's invariants.
+
+Two complementary layers (see ``docs/CHECKS.md``):
+
+* :mod:`repro.analysis.simcheck` — AST-based linter enforcing the
+  determinism conventions (rule codes ``SIMxxx``), run as
+  ``repro check``.
+* :mod:`repro.analysis.sanitizer` — opt-in runtime instrumentation
+  (``RF_SANITIZE=1`` or ``sanitize=True``) catching memory-model and
+  cache-coherence violations as structured :class:`SanitizerError`\\ s.
+"""
+
+from repro.analysis.sanitizer import (
+    CacheSanitizer,
+    SanitizerError,
+    default_sanitizer,
+    resolve_sanitizer,
+    sanitizer_enabled,
+)
+from repro.analysis.simcheck import (
+    CheckResult,
+    Finding,
+    RULES,
+    run_simcheck,
+)
+
+__all__ = [
+    "CacheSanitizer",
+    "CheckResult",
+    "Finding",
+    "RULES",
+    "SanitizerError",
+    "default_sanitizer",
+    "resolve_sanitizer",
+    "run_simcheck",
+    "sanitizer_enabled",
+]

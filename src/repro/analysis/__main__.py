@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run the simcheck linter."""
+
+import sys
+
+from repro.analysis.simcheck import main
+
+if __name__ == "__main__":
+    sys.exit(main())

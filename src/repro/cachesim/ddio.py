@@ -66,6 +66,12 @@ class DdioEngine:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
         hierarchy = self.hierarchy
+        san = hierarchy.sanitizer
+        if san is not None:
+            # Checked before any line lands: an overrun must be caught
+            # pre-corruption, with the offending span in hand.
+            san.check_dma_span(address, size, write=True)
+            san.tick(hierarchy, (size + CACHE_LINE - 1) // CACHE_LINE)
         if self.enabled and hierarchy.engine_name == "fast":
             # Flattened per-span path: identical outcomes, one closure
             # call per packet instead of three method calls per line
@@ -94,6 +100,9 @@ class DdioEngine:
         """
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
+        san = self.hierarchy.sanitizer
+        if san is not None:
+            san.check_dma_span(address, size, write=False)
         if self.hierarchy.engine_name == "fast":
             lines, hits = self.hierarchy.fast_engine().dma_read_span(address, size)
             self.stats.read_lines += lines

@@ -788,6 +788,9 @@ class FastEngine:
         """
         self.refresh()
         n = len(addresses)
+        san = self.hierarchy.sanitizer
+        if san is not None and n:
+            san.tick(self.hierarchy, n)
         if n == 0:
             empty_i64 = np.zeros(0, dtype=np.int64)
             return BatchResult(
@@ -834,6 +837,9 @@ class FastEngine:
             raise ValueError(f"size must be positive, got {size}")
         first = address & _LINE_MASK
         last = (address + size - 1) & _LINE_MASK
+        san = self.hierarchy.sanitizer
+        if san is not None:
+            san.tick(self.hierarchy, (last - first) // CACHE_LINE + 1)
         stats = self.hierarchy.stats
         access = self._access
         if first == last:

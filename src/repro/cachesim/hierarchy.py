@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.analysis.sanitizer import CacheSanitizer, resolve_sanitizer
 from repro.cachesim.cache import DictCache
 from repro.cachesim.llc import SlicedLLC
 from repro.mem.address import CACHE_LINE, line_address
@@ -118,6 +119,11 @@ class CacheHierarchy:
             Skylake (non-inclusive victim LLC).
         prefetchers: optional per-core L2 prefetchers (see
             :mod:`repro.cachesim.prefetch`).
+        sanitize: CacheSanitizer switch — ``True`` builds a private
+            sanitizer, ``False`` forces it off, ``None`` (default)
+            joins the process-global one when ``RF_SANITIZE=1``.
+        sanitizer: explicit sanitizer instance (wins over
+            ``sanitize``), for sharing shadow state with mempools.
     """
 
     def __init__(
@@ -131,6 +137,8 @@ class CacheHierarchy:
         latency: Optional[LatencySpec] = None,
         inclusive: bool = True,
         prefetchers: Optional[List[object]] = None,
+        sanitize: Optional[bool] = None,
+        sanitizer: Optional[CacheSanitizer] = None,
     ) -> None:
         if n_cores <= 0:
             raise ValueError(f"n_cores must be positive, got {n_cores}")
@@ -162,6 +170,12 @@ class CacheHierarchy:
         #: (:mod:`repro.cachesim.engine`).  Switch via :meth:`set_engine`.
         self.engine_name = "reference"
         self._fast_engine = None
+        #: Optional runtime invariant checker (see
+        #: :mod:`repro.analysis.sanitizer`); shared with the LLC so
+        #: masked fills are verified at fill time.
+        self.sanitizer = resolve_sanitizer(sanitize, sanitizer)
+        if self.sanitizer is not None:
+            llc.sanitizer = self.sanitizer
 
     # ------------------------------------------------------------------
     # Demand accesses
@@ -299,6 +313,8 @@ class CacheHierarchy:
             cores = [int(c) for c in core]
             if len(cores) != n:
                 raise ValueError(f"core has {len(cores)} entries for {n} addresses")
+        if self.sanitizer is not None:
+            self.sanitizer.tick(self, n)
         import numpy as np
 
         cycles = np.empty(n, dtype=np.int64)
@@ -326,6 +342,8 @@ class CacheHierarchy:
             raise ValueError(f"size must be positive, got {size}")
         first = line_address(address)
         last = line_address(address + size - 1)
+        if self.sanitizer is not None:
+            self.sanitizer.tick(self, (last - first) // CACHE_LINE + 1)
         cycles = 0
         for line in range(first, last + CACHE_LINE, CACHE_LINE):
             cycles += self.access_line(core, line, write=write).cycles

@@ -73,6 +73,9 @@ class SlicedLLC:
         )
         self.cat = cat if cat is not None else CatController(n_ways, interconnect.n_cores)
         self.counters = UncoreCounters(self.n_slices)
+        #: Optional CacheSanitizer verifying masked fills (attached by
+        #: the owning hierarchy when sanitizing is on).
+        self.sanitizer = None
         self.slices: List[WayCache] = [
             WayCache(n_sets, n_ways, policy=policy, name=f"llc-slice-{i}", seed=seed + i)
             for i in range(self.n_slices)
@@ -139,9 +142,26 @@ class SlicedLLC:
         else:
             allowed = None
         counters.count(EVENT_FILLS)
-        victim = self.slices[slice_index].insert(
+        slice_cache = self.slices[slice_index]
+        # Refresh-in-place never migrates ways, so only a *new* insert
+        # is held to the way mask by the sanitizer below.
+        was_resident = (
+            self.sanitizer is not None
+            and allowed is not None
+            and slice_cache.contains(line_address)
+        )
+        victim = slice_cache.insert(
             line_address, dirty=dirty, allowed_ways=allowed
         )
+        if self.sanitizer is not None and allowed is not None and not was_resident:
+            self.sanitizer.check_fill_way(
+                self,
+                slice_index,
+                line_address,
+                slice_cache.way_of(line_address),
+                tuple(allowed),
+                io,
+            )
         if victim is not None:
             counters.count(EVENT_EVICTIONS)
             if victim[1]:

@@ -151,6 +151,7 @@ def build_hierarchy(
     latency: Optional[LatencySpec] = None,
     prefetchers: Optional[Sequence[object]] = None,
     seed: int = 0,
+    sanitize: Optional[bool] = None,
 ) -> CacheHierarchy:
     """Instantiate a :class:`CacheHierarchy` from a machine spec.
 
@@ -162,6 +163,8 @@ def build_hierarchy(
         latency: override the latency model.
         prefetchers: optional per-core prefetchers.
         seed: seed for stochastic replacement policies.
+        sanitize: CacheSanitizer switch (``None`` = follow
+            ``RF_SANITIZE``; see :mod:`repro.analysis.sanitizer`).
     """
     llc = SlicedLLC(
         slice_hash=spec.hash_factory(),
@@ -184,4 +187,5 @@ def build_hierarchy(
         latency=latency if latency is not None else spec.latency,
         inclusive=spec.inclusive,
         prefetchers=list(prefetchers) if prefetchers is not None else None,
+        sanitize=sanitize,
     )

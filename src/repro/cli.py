@@ -298,6 +298,35 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.simcheck import RULES, format_result, run_simcheck
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        root = Path.cwd()
+    else:
+        # Default to the installed repro package itself, so `repro
+        # check` works from any working directory.
+        pkg = Path(__file__).resolve().parent
+        paths = [pkg]
+        root = pkg.parent
+    select = (
+        {c.strip() for c in args.select.split(",") if c.strip()}
+        if args.select
+        else None
+    )
+    result = run_simcheck(paths, root=root, select=select)
+    mode = "json" if args.json else ("github" if args.github else "text")
+    print(format_result(result, mode))
+    return 1 if result.active else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -372,6 +401,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true", help="emit the JSON payload")
     p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser(
+        "check", help="static analysis of simulation invariants (simcheck)"
+    )
+    p.add_argument(
+        "paths", nargs="*", help="files or directories (default: the repro package)"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--github", action="store_true", help="GitHub Actions annotations"
+    )
+    p.add_argument(
+        "--select", default=None, help="comma-separated rule codes to run"
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    p.set_defaults(func=_cmd_check)
 
     from repro.lab.cli import add_lab_parser
 

@@ -51,6 +51,7 @@ class Mbuf:
         "port",
         "queue",
         "rss_hash",
+        "san",
     )
 
     def __init__(
@@ -76,6 +77,9 @@ class Mbuf:
         self.udata64 = 0
         self.next: Optional[Mbuf] = None
         self.payload: Optional[object] = None
+        #: CacheSanitizer shadowing this mbuf's pool, or ``None`` — set
+        #: by the owning Mempool when sanitizing is on.
+        self.san: Optional[object] = None
         self.reset()
 
     # ------------------------------------------------------------------
@@ -137,6 +141,8 @@ class Mbuf:
             ValueError: if the headroom is not line-aligned relative to
                 the buffer start or exceeds the buffer.
         """
+        if self.san is not None:
+            self.san.check_mbuf_live(self, "set_headroom")
         if headroom < 0 or headroom >= self.buf_len:
             raise ValueError(
                 f"headroom {headroom} outside buffer of {self.buf_len} B"
@@ -154,6 +160,8 @@ class Mbuf:
         room cannot hold the extra bytes — the caller must then chain
         another mbuf.
         """
+        if self.san is not None:
+            self.san.check_mbuf_live(self, "append")
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
         if length > self.tailroom:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.analysis.sanitizer import CacheSanitizer, resolve_sanitizer
 from repro.dpdk.mbuf import (
     DEFAULT_DATAROOM,
     DEFAULT_HEADROOM,
@@ -38,6 +39,12 @@ class Mempool:
             the dynamic headroom never starves the data area (§4.2).
         default_headroom: initial headroom of fresh mbufs.
         phys_base_override: explicit physical base used in tests.
+        sanitize: force CacheSanitizer shadowing on (``True``) or off
+            (``False``); ``None`` defers to the ``RF_SANITIZE``
+            environment switch.
+        sanitizer: explicit sanitizer instance to join (wins over
+            ``sanitize``); lets tests share one shadow state between a
+            pool and a hierarchy.
     """
 
     def __init__(
@@ -47,6 +54,8 @@ class Mempool:
         n_mbufs: int,
         data_room: int = DEFAULT_DATAROOM,
         default_headroom: int = DEFAULT_HEADROOM,
+        sanitize: Optional[bool] = None,
+        sanitizer: Optional[CacheSanitizer] = None,
     ) -> None:
         if n_mbufs <= 0:
             raise ValueError(f"n_mbufs must be positive, got {n_mbufs}")
@@ -58,6 +67,7 @@ class Mempool:
         virt_base = allocator.allocate(element_size * n_mbufs, align=CACHE_LINE)
         phys_base = allocator.buffer.virt_to_phys(virt_base)
         self.element_size = element_size
+        self.base_phys = phys_base
         self.mbufs: List[Mbuf] = [
             Mbuf(
                 pool=self,
@@ -71,6 +81,11 @@ class Mempool:
         # LIFO free stack, warmest element on top.
         self._free: List[Mbuf] = list(reversed(self.mbufs))
         self.alloc_failures = 0
+        self.sanitizer = resolve_sanitizer(sanitize, sanitizer)
+        if self.sanitizer is not None:
+            self.sanitizer.register_pool(self)
+            for mbuf in self.mbufs:
+                mbuf.san = self.sanitizer
 
     @property
     def capacity(self) -> int:
@@ -97,6 +112,8 @@ class Mempool:
             self.alloc_failures += 1
             raise MempoolEmptyError(f"mempool {self.name!r} exhausted")
         mbuf = self._free.pop()
+        if self.sanitizer is not None:
+            self.sanitizer.on_alloc(self, mbuf)
         mbuf.reset()
         return mbuf
 
@@ -106,6 +123,8 @@ class Mempool:
             self.alloc_failures += 1
             return None
         mbuf = self._free.pop()
+        if self.sanitizer is not None:
+            self.sanitizer.on_alloc(self, mbuf)
         mbuf.reset()
         return mbuf
 
@@ -116,6 +135,8 @@ class Mempool:
                 raise ValueError(
                     f"mbuf {segment.index} does not belong to pool {self.name!r}"
                 )
+            if self.sanitizer is not None:
+                self.sanitizer.on_free(self, segment)
             segment.next = None
             self._free.append(segment)
         if len(self._free) > self.capacity:

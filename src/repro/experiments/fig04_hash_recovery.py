@@ -46,7 +46,7 @@ def run_fig04(
         verify_addresses: size of the verification sweep.
         seed: physical-layout seed.
     """
-    hierarchy = build_hierarchy(spec)
+    hierarchy = build_hierarchy(spec, seed=seed)
     space = PhysicalAddressSpace(seed=seed)
     buffer = space.mmap_hugepage(PAGE_1G)
     oracle = PollingOracle(hierarchy, buffer, core=0, polls=4)

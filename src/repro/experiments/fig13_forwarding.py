@@ -1,4 +1,5 @@
 """Fig. 13 — simple forwarding, mixed-size packets at 100 Gbps, RSS (§5.1.2)."""
+# simcheck: ignore-file[SIM302] — serialized via the shared nfv_common.comparison_to_dict in lab/registry.py
 
 from __future__ import annotations
 

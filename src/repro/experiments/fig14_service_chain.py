@@ -1,3 +1,4 @@
+# simcheck: ignore-file[SIM302] — serialized via the shared nfv_common.comparison_to_dict in lab/registry.py
 """Figs. 1 & 14 — Router-NAPT-LB at 100 Gbps with FlowDirector (§5.2.1).
 
 The stateful chain with the routing classification offloaded to the

@@ -9,7 +9,7 @@ same closed form, vectorised with numpy so millions of keys are cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -60,7 +60,9 @@ class ZipfKeys:
         # Odd multiplier, coprime with any power-of-two key space.
         self._mult = 0x9E3779B1 | 1
 
-    def ranks(self, count: int, rng: np.random.Generator = None) -> np.ndarray:
+    def ranks(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
         """Draw *count* Zipf ranks (0 = hottest)."""
         rng = rng if rng is not None else np.random.default_rng(self.seed)
         u = rng.random(count)
@@ -73,7 +75,9 @@ class ZipfKeys:
         out = ranks.astype(np.int64) - 1
         return np.clip(out, 0, self.n_keys - 1)
 
-    def keys(self, count: int, rng: np.random.Generator = None) -> np.ndarray:
+    def keys(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
         """Draw *count* keys (ranks scattered over the key space)."""
         ranks = self.ranks(count, rng)
         if not self.scatter:
@@ -100,7 +104,9 @@ class UniformKeys:
         self.n_keys = n_keys
         self.seed = seed
 
-    def keys(self, count: int, rng: np.random.Generator = None) -> np.ndarray:
+    def keys(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
         """Draw *count* uniform keys."""
         rng = rng if rng is not None else np.random.default_rng(self.seed)
         return rng.integers(0, self.n_keys, size=count)
@@ -123,7 +129,9 @@ class GetSetMix:
         """Workload label as the paper prints it."""
         return f"{self.get_fraction:.0%} GET"
 
-    def operations(self, count: int, rng: np.random.Generator = None) -> np.ndarray:
+    def operations(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
         """Boolean array: True = GET, False = SET."""
         rng = rng if rng is not None else np.random.default_rng(1)
         return rng.random(count) < self.get_fraction

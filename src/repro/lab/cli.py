@@ -52,7 +52,7 @@ def _cmd_lab_run(args: argparse.Namespace) -> int:
         print("lab run: give experiment names or --all", file=sys.stderr)
         return 2
     names = None if args.all else args.names
-    out_dir = args.out or time.strftime("lab-runs/%Y%m%d-%H%M%S")
+    out_dir = args.out or time.strftime("lab-runs/%Y%m%d-%H%M%S")  # simcheck: ignore[SIM001] run-directory name, not a result
     progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
     report = run_matrix(
         names,

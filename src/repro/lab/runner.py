@@ -136,7 +136,7 @@ def _execute_task(
         and hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
-    start = time.perf_counter()
+    start = time.perf_counter()  # simcheck: ignore[SIM001] wall-clock duration is provenance, not a result
     if use_alarm:
         def _on_alarm(signum, frame):
             raise TaskTimeout(
@@ -151,7 +151,7 @@ def _execute_task(
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start  # simcheck: ignore[SIM001] provenance only
 
 
 def _describe_error(exc: BaseException) -> str:
@@ -180,7 +180,7 @@ def _run_tasks_inline(
         attempts = 0
         while True:
             attempts += 1
-            start = time.perf_counter()
+            start = time.perf_counter()  # simcheck: ignore[SIM001] provenance only
             try:
                 result, duration = _execute_task(
                     task.experiment, task.index, task.params, task.seed, timeout_s
@@ -196,7 +196,7 @@ def _run_tasks_inline(
                     task,
                     "failed",
                     attempts,
-                    time.perf_counter() - start,
+                    time.perf_counter() - start,  # simcheck: ignore[SIM001] provenance only
                     error=_describe_error(exc),
                 )
                 break
@@ -325,14 +325,14 @@ def run_matrix(
         if progress is not None:
             progress(f"[retry] {task.label}: attempt {attempt} failed — {error}")
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # simcheck: ignore[SIM001] provenance only
     if jobs <= 1:
         outcomes = _run_tasks_inline(tasks, timeout_s, retries, note)
     else:
         outcomes = _run_tasks_pooled(
             tasks, jobs, timeout_s, retries, note, retry_note
         )
-    wall_clock_s = time.perf_counter() - started
+    wall_clock_s = time.perf_counter() - started  # simcheck: ignore[SIM001] provenance only
 
     report = RunReport(
         seed=seed,

@@ -1,0 +1,32 @@
+"""Fixture: SIM001 — nondeterminism sources."""
+
+import time
+import numpy as np
+from time import perf_counter
+
+
+def bad_wall_clock() -> float:
+    return time.time()  # finding: SIM001
+
+
+def bad_from_import() -> float:
+    return perf_counter()  # finding: SIM001
+
+
+def bad_global_random() -> float:
+    import random
+
+    return random.random()  # finding: SIM001
+
+
+def bad_legacy_numpy() -> float:
+    return float(np.random.rand())  # finding: SIM001
+
+
+def suppressed_wall_clock() -> float:
+    return time.time()  # simcheck: ignore[SIM001] fixture justification
+
+
+def ok_seeded() -> float:
+    rng = np.random.default_rng(7)
+    return float(rng.random())

@@ -1,0 +1,21 @@
+"""Fixture: SIM002 — RNGs constructed without a seed."""
+
+import random
+
+import numpy as np
+
+
+def bad_default_rng():
+    return np.random.default_rng()  # finding: SIM002
+
+
+def bad_random_random():
+    return random.Random()  # finding: SIM002
+
+
+def suppressed():
+    return np.random.default_rng()  # simcheck: ignore[SIM002] fixture
+
+
+def ok(seed: int):
+    return np.random.default_rng(seed), random.Random(seed)

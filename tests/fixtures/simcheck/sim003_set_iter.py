@@ -1,0 +1,20 @@
+"""Fixture: SIM003 — hash-order-dependent set iteration."""
+
+
+def bad_for_loop(items):
+    out = []
+    for x in set(items):  # finding: SIM003
+        out.append(x)
+    return out
+
+
+def bad_comprehension():
+    return [x * 2 for x in {3, 1, 2}]  # finding: SIM003
+
+
+def suppressed(items):
+    return [x for x in set(items)]  # simcheck: ignore[SIM003] fixture
+
+
+def ok(items):
+    return [x for x in sorted(set(items))]

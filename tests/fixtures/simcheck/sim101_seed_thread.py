@@ -1,0 +1,25 @@
+"""Fixture: SIM101 — seed/rng parameters not threaded to callees."""
+
+
+def stochastic_callee(count: int, seed: int = 0):
+    return [seed] * count
+
+
+def bad_drops_seed(seed: int = 0):
+    return stochastic_callee(5)  # finding: SIM101
+
+
+def suppressed_drop(seed: int = 0):
+    return stochastic_callee(5)  # simcheck: ignore[SIM101] fixture
+
+
+def ok_keyword(seed: int = 0):
+    return stochastic_callee(5, seed=seed)
+
+
+def ok_positional(seed: int = 0):
+    return stochastic_callee(5, seed)
+
+
+def ok_derived(seed: int = 0):
+    return stochastic_callee(5, seed=seed + 1)

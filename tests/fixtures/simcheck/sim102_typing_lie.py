@@ -1,0 +1,25 @@
+"""Fixture: SIM102 — seed/rng defaulting to None without Optional."""
+
+from typing import Optional
+
+import numpy as np
+
+
+def bad(rng: np.random.Generator = None):  # finding: SIM102
+    return rng
+
+
+def bad_seed(count: int, seed: int = None):  # finding: SIM102
+    return count, seed
+
+
+def suppressed(rng: np.random.Generator = None):  # simcheck: ignore[SIM102]
+    return rng
+
+
+def ok(rng: Optional[np.random.Generator] = None):
+    return rng
+
+
+def ok_union(rng: "np.random.Generator | None" = None):
+    return rng

@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test diff-test bench bench-full quick examples figures lab lab-compare check lint sanitize-lab clean
+.PHONY: install test diff-test bench bench-full quick examples figures lab lab-compare check lint sanitize-lab chaos-smoke clean
 
 LAB_DIR ?= lab-runs/latest
 LAB_JOBS ?= 4
@@ -66,6 +66,14 @@ lint: check
 sanitize-lab:
 	RF_SANITIZE=1 $(PY) -m repro lab run --all --jobs $(LAB_JOBS) --scale reduced --out $(LAB_DIR)
 	$(PY) -m repro lab compare $(LAB_DIR) tests/golden
+
+# Chaos experiments under the sanitizer, then bit-identical replay of
+# each artifact from its persisted fault plan (see docs/FAULTS.md).
+CHAOS_DIR ?= lab-runs/chaos
+chaos-smoke:
+	RF_SANITIZE=1 $(PY) -m repro lab run chaos-tail degradation-knee --jobs $(LAB_JOBS) --scale reduced --out $(CHAOS_DIR)
+	$(PY) -m repro chaos replay $(CHAOS_DIR)/chaos-tail.json
+	$(PY) -m repro chaos replay $(CHAOS_DIR)/degradation-knee.json
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

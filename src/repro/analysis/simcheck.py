@@ -26,6 +26,8 @@ SIM201 engine parity: the fast engine and the reference hierarchy
 SIM301 experiment module not registered in ``lab/registry.py``
 SIM302 experiment module missing the serializer contract (no ``run_*``
        or no ``*_to_dict`` top-level function)
+SIM401 fault-injection code constructs its own RNG instead of drawing
+       from ``FaultClock.stream(site)`` (breaks per-site replay)
 ====== =================================================================
 
 Suppressions
@@ -72,6 +74,7 @@ RULES: Dict[str, str] = {
     "SIM201": "fast engine and reference hierarchy API surfaces differ",
     "SIM302": "experiment module misses the run_*/*_to_dict contract",
     "SIM301": "experiment module not registered in the lab registry",
+    "SIM401": "fault-injection code constructs an RNG outside FaultClock",
 }
 
 #: Dotted call targets that introduce nondeterminism (after normalising
@@ -119,6 +122,30 @@ _NP_RANDOM_ALLOWED: Set[str] = {
 
 #: Parameter names that carry determinism through call chains.
 _SEED_PARAMS: Tuple[str, str] = ("seed", "rng")
+
+#: Call targets that construct a fresh RNG.  Inside fault-injection
+#: code (rule SIM401) every random decision must instead come from a
+#: ``FaultClock.stream(site)`` draw so each site replays bit-identically
+#: from the persisted :class:`~repro.faults.plan.FaultPlan`.
+_RNG_CONSTRUCTORS: Set[str] = {
+    "np.random.default_rng",
+    "np.random.Generator",
+    "np.random.PCG64",
+    "np.random.PCG64DXSM",
+    "np.random.Philox",
+    "np.random.MT19937",
+    "random.Random",
+}
+
+#: Function names that mark fault-injection code for SIM401.  The
+#: lookbehind keeps "default"/"default_rng" from reading as "fault".
+_FAULT_NAME_RE = re.compile(r"(?<!de)fault|inject", re.IGNORECASE)
+
+#: Modules under the faults package are fault-injection code wholesale —
+#: except the plan module itself, which hosts the sanctioned per-site
+#: stream factory (``FaultClock.stream``).
+_FAULT_MODULE_RE = re.compile(r"(^|/)faults/")
+_FAULT_PLAN_SUFFIX = "faults/plan.py"
 
 #: Method names shared with dict/str builtins; attribute calls to these
 #: are never matched against the project signature index by name alone.
@@ -399,6 +426,13 @@ class _FileVisitor(ast.NodeVisitor):
         self.findings: List[Finding] = []
         # Stack of seed/rng parameter-name sets for enclosing functions.
         self._seed_scope: List[Set[str]] = []
+        # Stack of enclosing function names (for SIM401's name heuristic).
+        self._func_stack: List[str] = []
+        rel = src.rel.replace("\\", "/")
+        self._fault_module = bool(
+            _FAULT_MODULE_RE.search(rel)
+        ) and not rel.endswith(_FAULT_PLAN_SUFFIX)
+        self._fault_plan_module = rel.endswith(_FAULT_PLAN_SUFFIX)
 
     def _emit(self, code: str, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 1)
@@ -413,8 +447,28 @@ class _FileVisitor(ast.NodeVisitor):
         dotted = self.imports.resolve_call(node.func)
         if dotted is not None:
             self._check_nondet(node, dotted)
+            self._check_fault_rng(node, dotted)
         self._check_seed_threading(node)
         self.generic_visit(node)
+
+    # -- SIM401 on RNG construction in fault-injection code -------------
+
+    def _check_fault_rng(self, node: ast.Call, dotted: str) -> None:
+        if dotted not in _RNG_CONSTRUCTORS:
+            return
+        if self._fault_plan_module:
+            return  # FaultClock's own stream factory is the sanctioned site
+        in_fault_func = any(_FAULT_NAME_RE.search(n) for n in self._func_stack)
+        if not (self._fault_module or in_fault_func):
+            return
+        self._emit(
+            "SIM401",
+            node,
+            f"`{dotted}()` constructed inside fault-injection code — "
+            "draw fault decisions from `FaultClock.stream(site)` so "
+            "every site replays bit-identically from the persisted "
+            "FaultPlan",
+        )
 
     def _check_nondet(self, node: ast.Call, dotted: str) -> None:
         if dotted in _NONDET_CALLS:
@@ -556,7 +610,9 @@ class _FileVisitor(ast.NodeVisitor):
                 )
         seed_params = {a.arg for a in all_args if a.arg in _SEED_PARAMS}
         self._seed_scope.append(seed_params)
+        self._func_stack.append(node.name)
         self.generic_visit(node)
+        self._func_stack.pop()
         self._seed_scope.pop()
 
     visit_FunctionDef = _visit_funcdef

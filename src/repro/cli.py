@@ -298,6 +298,103 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.chaos_command == "tail":
+        from repro.experiments.chaos import (
+            chaos_tail_to_dict,
+            format_chaos_tail,
+            run_chaos_tail,
+        )
+
+        result = run_chaos_tail(
+            chain=args.chain,
+            classes=args.classes or None,
+            offered_gbps=args.offered,
+            n_bulk_packets=args.bulk,
+            micro_packets=args.micro,
+            runs=args.runs,
+            seed=args.seed,
+            intensity=args.intensity,
+        )
+        if args.json:
+            return _emit_json(chaos_tail_to_dict(result))
+        print(format_chaos_tail(result))
+        return 0
+    if args.chaos_command == "knee":
+        from repro.experiments.chaos import (
+            degradation_knee_to_dict,
+            format_degradation_knee,
+            run_degradation_knee,
+        )
+
+        result = run_degradation_knee(
+            fault_class=args.fault_class,
+            chain=args.chain,
+            offered_gbps=args.offered,
+            intensities=args.intensities or None,
+            n_bulk_packets=args.bulk,
+            micro_packets=args.micro,
+            seed=args.seed,
+        )
+        if args.json:
+            return _emit_json(degradation_knee_to_dict(result))
+        print(format_degradation_knee(result))
+        return 0
+    return _cmd_chaos_replay(args)
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    """Re-run a persisted chaos artifact from its own fault plans.
+
+    The replay feeds the artifact's persisted FaultPlan JSON back into
+    the experiment (``plans`` override) at the artifact's parameters
+    and seed, then requires the reproduced payload to be bit-identical.
+    """
+    from pathlib import Path
+
+    from repro.experiments.chaos import (
+        chaos_tail_to_dict,
+        degradation_knee_to_dict,
+        run_chaos_tail,
+        run_degradation_knee,
+    )
+
+    artifact = json.loads(Path(args.artifact).read_text())
+    name = artifact.get("name")
+    persisted = artifact["result"]
+    kwargs = dict(artifact.get("params") or {})
+    if artifact.get("seed") is not None:
+        kwargs.setdefault("seed", artifact["seed"])
+    kwargs["plans"] = persisted["plans"]
+    if name == "chaos-tail":
+        replayed = chaos_tail_to_dict(run_chaos_tail(**kwargs))
+    elif name == "degradation-knee":
+        replayed = degradation_knee_to_dict(run_degradation_knee(**kwargs))
+    else:
+        print(
+            f"chaos replay: {args.artifact} is a {name!r} artifact, "
+            "not chaos-tail/degradation-knee",
+            file=sys.stderr,
+        )
+        return 2
+    original = json.dumps(persisted, sort_keys=True)
+    reproduced = json.dumps(replayed, sort_keys=True)
+    if original == reproduced:
+        print(f"replay of {name} from {args.artifact}: bit-identical")
+        return 0
+    print(
+        f"replay of {name} from {args.artifact}: MISMATCH "
+        f"({len(original)} vs {len(reproduced)} canonical bytes)",
+        file=sys.stderr,
+    )
+    for key in sorted(set(persisted) | set(replayed)):
+        a = json.dumps(persisted.get(key), sort_keys=True)
+        b = json.dumps(replayed.get(key), sort_keys=True)
+        if a != b:
+            print(f"  differs at top-level key {key!r}", file=sys.stderr)
+    return 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -403,6 +500,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser(
+        "chaos", help="fault-injection experiments (tail/knee/replay)"
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+
+    q = chaos_sub.add_parser("tail", help="tail latency per fault class")
+    q.add_argument("--chain", choices=("forwarding", "stateful"), default="forwarding")
+    q.add_argument("--classes", nargs="*", default=None, help="fault classes")
+    q.add_argument("--offered", type=float, default=100.0, help="offered load (Gbps)")
+    q.add_argument("--bulk", type=int, default=60_000, help="bulk packets per run")
+    q.add_argument("--micro", type=int, default=1500, help="microsim packets")
+    q.add_argument("--runs", type=int, default=2)
+    q.add_argument("--intensity", type=float, default=1.0, help="rate multiplier")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--json", action="store_true", help="emit the JSON payload")
+    q.set_defaults(func=_cmd_chaos)
+
+    q = chaos_sub.add_parser("knee", help="goodput vs fault intensity")
+    q.add_argument("--fault-class", default="mixed", dest="fault_class")
+    q.add_argument("--chain", choices=("forwarding", "stateful"), default="stateful")
+    q.add_argument("--offered", type=float, default=40.0, help="offered load (Gbps)")
+    q.add_argument(
+        "--intensities", nargs="*", type=float, default=None, help="sweep grid"
+    )
+    q.add_argument("--bulk", type=int, default=60_000, help="bulk packets per run")
+    q.add_argument("--micro", type=int, default=1500, help="microsim packets")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--json", action="store_true", help="emit the JSON payload")
+    q.set_defaults(func=_cmd_chaos)
+
+    q = chaos_sub.add_parser(
+        "replay", help="re-run a persisted chaos artifact; verify bit-identity"
+    )
+    q.add_argument("artifact", help="chaos-tail.json / degradation-knee.json")
+    q.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
         "check", help="static analysis of simulation invariants (simcheck)"
     )
     p.add_argument(
@@ -437,7 +570,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Output piped into a pager/head that closed early — fine.
         try:
             sys.stdout.close()
-        except Exception:
+        except OSError:
+            # Closing a broken pipe may itself fail; nothing to do.
             pass
         return 0
 

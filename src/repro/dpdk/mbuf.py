@@ -51,6 +51,7 @@ class Mbuf:
         "port",
         "queue",
         "rss_hash",
+        "fcs_ok",
         "san",
     )
 
@@ -133,6 +134,9 @@ class Mbuf:
         self.port = 0
         self.queue = 0
         self.rss_hash = 0
+        # Frame-check-sequence verdict from the NIC; fault injection
+        # flips it to False and the PMD discards the frame on poll.
+        self.fcs_ok = True
 
     def set_headroom(self, headroom: int) -> None:
         """Apply a (CacheDirector-chosen) headroom before DMA.

@@ -9,9 +9,10 @@ first).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis.sanitizer import CacheSanitizer, resolve_sanitizer
+from repro.faults.plan import FaultClock
 from repro.dpdk.mbuf import (
     DEFAULT_DATAROOM,
     DEFAULT_HEADROOM,
@@ -45,6 +46,10 @@ class Mempool:
         sanitizer: explicit sanitizer instance to join (wins over
             ``sanitize``); lets tests share one shadow state between a
             pool and a hierarchy.
+        watermarks: optional ``(low, high)`` in-use element counts for
+            backpressure hysteresis: :attr:`under_pressure` turns on
+            when usage reaches *high* and off once it falls back to
+            *low*, so the NIC sheds load before the pool exhausts.
     """
 
     def __init__(
@@ -56,6 +61,7 @@ class Mempool:
         default_headroom: int = DEFAULT_HEADROOM,
         sanitize: Optional[bool] = None,
         sanitizer: Optional[CacheSanitizer] = None,
+        watermarks: Optional[Tuple[int, int]] = None,
     ) -> None:
         if n_mbufs <= 0:
             raise ValueError(f"n_mbufs must be positive, got {n_mbufs}")
@@ -81,6 +87,19 @@ class Mempool:
         # LIFO free stack, warmest element on top.
         self._free: List[Mbuf] = list(reversed(self.mbufs))
         self.alloc_failures = 0
+        if watermarks is not None:
+            low, high = watermarks
+            if not 0 <= low < high <= n_mbufs:
+                raise ValueError(
+                    f"watermarks must satisfy 0 <= low < high <= {n_mbufs}, "
+                    f"got {watermarks}"
+                )
+        self.watermarks = watermarks
+        self._pressure = False
+        #: Fault clock injecting allocation failures, or ``None``.
+        self.faults: Optional[FaultClock] = None
+        # Remaining forced failures of an open exhaustion window.
+        self._exhaust_remaining = 0
         self.sanitizer = resolve_sanitizer(sanitize, sanitizer)
         if self.sanitizer is not None:
             self.sanitizer.register_pool(self)
@@ -102,12 +121,70 @@ class Mempool:
         """Elements currently allocated."""
         return self.capacity - self.available
 
+    @property
+    def under_pressure(self) -> bool:
+        """Backpressure signal with watermark hysteresis.
+
+        Always ``False`` without watermarks.  With them, turns on when
+        ``in_use`` reaches the high mark and stays on until usage
+        falls back to the low mark — the hysteresis keeps the NIC from
+        flapping between shedding and admitting at the boundary.
+        """
+        if self.watermarks is None:
+            return False
+        low, high = self.watermarks
+        if self._pressure:
+            if self.in_use <= low:
+                self._pressure = False
+        elif self.in_use >= high:
+            self._pressure = True
+        return self._pressure
+
+    def _fault_alloc_fails(self) -> bool:
+        """Whether an injected fault fails this allocation.
+
+        Exhaustion windows fail a drawn-length run of consecutive
+        allocations (a burst of demand elsewhere); transient failures
+        fail a single allocation.  All decisions come from the fault
+        clock's own streams.
+        """
+        clock = self.faults
+        if clock is None:
+            return False
+        if self._exhaust_remaining > 0:
+            self._exhaust_remaining -= 1
+            clock.count("mempool.exhaust_window_fails")
+            return True
+        rates = clock.rates
+        if clock.fires("mempool.exhaust", rates.mempool_exhaust):
+            self._exhaust_remaining = (
+                clock.integers(
+                    "mempool.exhaust_len",
+                    rates.mempool_exhaust_allocs_min,
+                    rates.mempool_exhaust_allocs_max + 1,
+                )
+                - 1  # this allocation is the window's first failure
+            )
+            clock.count("mempool.exhaust_windows")
+            clock.count("mempool.exhaust_window_fails")
+            return True
+        if clock.fires("mempool.alloc_fail", rates.mempool_alloc_fail):
+            clock.count("mempool.transient_alloc_fails")
+            return True
+        return False
+
     def alloc(self) -> Mbuf:
         """Pop one mbuf, reset to defaults.
 
         Raises:
-            MempoolEmptyError: when the pool is exhausted.
+            MempoolEmptyError: when the pool is exhausted (or an
+                injected allocation fault fires).
         """
+        if self._fault_alloc_fails():
+            self.alloc_failures += 1
+            raise MempoolEmptyError(
+                f"mempool {self.name!r}: injected allocation failure"
+            )
         if not self._free:
             self.alloc_failures += 1
             raise MempoolEmptyError(f"mempool {self.name!r} exhausted")
@@ -119,6 +196,9 @@ class Mempool:
 
     def try_alloc(self) -> Optional[Mbuf]:
         """Pop one mbuf or return ``None`` when exhausted."""
+        if self._fault_alloc_fails():
+            self.alloc_failures += 1
+            return None
         if not self._free:
             self.alloc_failures += 1
             return None
@@ -149,7 +229,16 @@ class Mempool:
             raise MempoolEmptyError(
                 f"mempool {self.name!r}: wanted {count}, have {self.available}"
             )
-        return [self.alloc() for _ in range(count)]
+        taken: List[Mbuf] = []
+        try:
+            for _ in range(count):
+                taken.append(self.alloc())
+        except MempoolEmptyError:
+            # An injected allocation fault mid-bulk: stay all-or-nothing.
+            for mbuf in taken:
+                self.free(mbuf)
+            raise
+        return taken
 
     def __repr__(self) -> str:
         return (

@@ -20,6 +20,7 @@ from repro.core.cache_director import CacheDirector
 from repro.dpdk.mbuf import Mbuf
 from repro.dpdk.mempool import Mempool
 from repro.dpdk.ring import Ring
+from repro.faults.plan import FaultClock
 from repro.mem.address import CACHE_LINE
 from repro.mem.allocator import ContiguousAllocator
 
@@ -32,6 +33,8 @@ class NicStats:
     rx_bytes: int = 0
     rx_drops_no_mbuf: int = 0
     rx_drops_ring_full: int = 0
+    rx_drops_backpressure: int = 0
+    rx_drops_injected: int = 0
     tx_packets: int = 0
     tx_bytes: int = 0
 
@@ -41,6 +44,8 @@ class NicStats:
         self.rx_bytes = 0
         self.rx_drops_no_mbuf = 0
         self.rx_drops_ring_full = 0
+        self.rx_drops_backpressure = 0
+        self.rx_drops_injected = 0
         self.tx_packets = 0
         self.tx_bytes = 0
 
@@ -92,6 +97,8 @@ class Nic:
             self._descriptor_base.append(allocator.buffer.virt_to_phys(virt))
         self.rx_ring_size = rx_ring_size
         self.stats = NicStats()
+        #: Fault clock injecting wire-side faults, or ``None``.
+        self.faults: Optional[FaultClock] = None
         if cache_director is not None:
             for mbuf in mempool.mbufs:
                 mbuf.udata64 = cache_director.precompute_udata(mbuf.buf_phys)
@@ -110,17 +117,34 @@ class Nic:
         Allocates mbuf(s), applies the (possibly dynamic) headroom,
         DMAs the frame and a completion descriptor through DDIO, and
         posts the chain to the RX ring.  Returns the head mbuf, or
-        ``None`` when the frame was dropped (pool empty / ring full).
+        ``None`` when the frame was dropped (injected wire loss, pool
+        empty, backpressure shed, or ring full).
         """
         if length <= 0:
             raise ValueError(f"length must be positive, got {length}")
+        clock = self.faults
+        if clock is not None and clock.fires("nic.drop", clock.rates.nic_drop):
+            # Frame lost on the wire: it never reaches the DuT.
+            self.stats.rx_drops_injected += 1
+            clock.count("nic.injected_drops")
+            return None
         ring = self.rx_rings[queue]
         if ring.full:
             self.stats.rx_drops_ring_full += 1
             return None
+        if self.mempool.under_pressure:
+            # Watermark backpressure: shed at the NIC while free
+            # elements remain, instead of exhausting the pool and
+            # failing mid-chain.
+            self.stats.rx_drops_backpressure += 1
+            if clock is not None:
+                clock.count("nic.backpressure_sheds")
+            return None
         head = self.mempool.try_alloc()
         if head is None:
             self.stats.rx_drops_no_mbuf += 1
+            if clock is not None:
+                clock.count("nic.drops_no_mbuf")
             return None
         if self.cache_director is not None:
             core = self.queue_to_core[queue]
@@ -150,6 +174,12 @@ class Nic:
             extra.pkt_len = 0
             segment.next = extra
             segment = extra
+        if clock is not None and clock.fires(
+            "nic.corrupt", clock.rates.nic_corrupt
+        ):
+            # Frame delivered with a bad FCS; the PMD discards it.
+            head.fcs_ok = False
+            clock.count("nic.injected_corruptions")
         # Completion descriptor write (the line the PMD polls).
         slot = self._descriptor_slot[queue]
         self._descriptor_slot[queue] = (slot + 1) % self.rx_ring_size

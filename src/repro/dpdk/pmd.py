@@ -44,6 +44,8 @@ class PollModeDriver:
         self.nic = nic
         self.hierarchy = hierarchy
         self.costs = costs if costs is not None else PmdCosts()
+        #: Frames discarded at the FCS check (injected corruption).
+        self.fcs_discards = 0
 
     def rx_burst(self, queue: int, max_packets: int = 32) -> Tuple[List[Mbuf], int]:
         """Poll *queue*; returns ``(mbufs, cycles)``.
@@ -51,19 +53,36 @@ class PollModeDriver:
         Per burst the driver reads the completion descriptor line; per
         packet it reads the mbuf metadata struct (two lines).  An empty
         poll costs one descriptor read — the price of spinning.
+        Frames the NIC flagged with a bad FCS are freed back to the
+        pool here (their struct reads are still paid), and an injected
+        poll stall inflates the burst by the plan's stall cycles.
         """
         core = self.nic.queue_to_core[queue]
         hierarchy = self.hierarchy
         ring = self.nic.rx_rings[queue]
+        clock = self.nic.faults
         cycles = self.costs.rx_per_burst
+        if clock is not None and clock.fires(
+            "pmd.stall", clock.rates.nic_stall
+        ):
+            cycles += clock.rates.nic_stall_cycles
+            clock.count("pmd.injected_stalls")
         # Poll the next completion descriptor (DDIO wrote it).
         slot = len(ring) and 0  # head-of-ring descriptor
         cycles += hierarchy.read(core, self.nic.descriptor_line(queue, slot))
-        mbufs = ring.dequeue_burst(max_packets) if len(ring) else []
-        for mbuf in mbufs:
+        polled = ring.dequeue_burst(max_packets) if len(ring) else []
+        mbufs: List[Mbuf] = []
+        for mbuf in polled:
             cycles += self.costs.rx_per_packet
             for line in mbuf.struct_lines():
                 cycles += hierarchy.read(core, line)
+            if not mbuf.fcs_ok:
+                self.nic.mempool.free(mbuf)
+                self.fcs_discards += 1
+                if clock is not None:
+                    clock.count("pmd.fcs_discards")
+                continue
+            mbufs.append(mbuf)
         return mbufs, cycles
 
     def tx_burst(self, queue: int, mbufs: Sequence[Mbuf]) -> int:

@@ -17,6 +17,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dpdk.steering import FlowDirectorSteering, RssSteering
+from repro.faults.plan import FaultClock, resolve_plan
+from repro.faults.streams import apply_bulk_faults
 from repro.net.chain import (
     DutConfig,
     DutEnvironment,
@@ -57,6 +59,13 @@ class NfvExperimentResult:
     mean_service_ns: float
     latencies_us: np.ndarray  # one representative run (for CDFs)
     run_summaries: List[LatencySummary] = None  # per-run (for quartile bars)
+    #: Useful-bit throughput (excludes duplicates/corrupted frames);
+    #: equals :attr:`achieved_gbps` when no faults were injected.
+    goodput_gbps: float = 0.0
+    #: Structured fault/recovery counters, or ``None`` for a fault-free
+    #: run (keeping fault-free artifacts byte-identical to pre-chaos
+    #: golden numbers).
+    fault_counters: Optional[Dict[str, int]] = None
 
 
 def measure_service_times(
@@ -68,16 +77,25 @@ def measure_service_times(
     n_cores: int = 8,
     seed: int = 0,
     engine: str = "reference",
+    faults: Optional[FaultClock] = None,
+    watermarks: Optional[Tuple[int, int]] = None,
 ) -> np.ndarray:
-    """Cache-simulate a packet sample; returns service times (ns)."""
+    """Cache-simulate a packet sample; returns service times (ns).
+
+    With a fault clock, packets lost to injected faults (wire drops,
+    FCS discards, allocation failures, NF crashes) are excluded from
+    the sample and accounted in the clock's structured counters.
+    """
     env = DutEnvironment(
         DutConfig(
             cache_director=cache_director,
             n_cores=n_cores,
             seed=seed,
             engine=engine,
+            watermarks=watermarks,
         ),
         chain_factory,
+        faults=faults,
     )
     steering = make_steering(steering_kind, n_cores)
     packets = generator.generate(micro_packets, rate_pps=4e6, seed_offset=seed)
@@ -98,8 +116,23 @@ def run_nfv_experiment(
     nic: Optional[NicModel] = None,
     seed: int = 0,
     engine: str = "reference",
+    fault_plan: Optional[object] = None,
+    watermarks: Optional[Tuple[int, int]] = None,
 ) -> NfvExperimentResult:
-    """Full pipeline for one configuration; medians over *runs*."""
+    """Full pipeline for one configuration; medians over *runs*.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan` or its
+    persisted dict form) turns on chaos injection: the microsimulation
+    runs the full resilient DuT (backpressure, FCS discards, NF
+    supervision) and the bulk stream passes through the vectorised
+    wire-fault transforms.  A ``None`` plan — or one with all-zero
+    rates — creates no clock and leaves every code path and RNG stream
+    bit-identical to a fault-free run.
+    """
+    plan = resolve_plan(fault_plan)
+    clock = (
+        FaultClock(plan) if plan is not None and plan.rates.any_active else None
+    )
     generator = CampusTraceGenerator(seed=seed + 1)
     service_samples = measure_service_times(
         chain_factory,
@@ -110,12 +143,23 @@ def run_nfv_experiment(
         n_cores=n_cores,
         seed=seed,
         engine=engine,
+        faults=clock,
+        watermarks=watermarks,
     )
+    if service_samples.size == 0:
+        # Every microsim packet was lost to injected faults (only
+        # possible at extreme rates).  Fall back to a zero-cycle sample
+        # so the queueing stage still runs — effective service then
+        # degenerates to the NIC floor — and record that it happened.
+        assert clock is not None
+        clock.count("micro.no_service_samples")
+        service_samples = np.zeros(1)
     flow_keys = [tuple(f) for f in generator.flows]
     summaries: List[LatencySummary] = []
     achieved: List[float] = []
     offered: List[float] = []
     drops: List[float] = []
+    goodputs: List[float] = []
     last_run: Optional[LatencyRunResult] = None
     for run_index in range(runs):
         rng = np.random.default_rng(seed + 100 + run_index)
@@ -128,6 +172,19 @@ def run_nfv_experiment(
         }
         queues = np.array([flow_to_queue[int(f)] for f in flows])
         service = bootstrap_service_ns(service_samples, len(sizes), rng)
+        goodput_mask: Optional[np.ndarray] = None
+        if clock is not None:
+            faulted = apply_bulk_faults(clock, arrivals, sizes, queues, service)
+            if faulted.arrivals_ns.size == 0:
+                raise ValueError(
+                    "fault plan dropped every packet in the bulk stream; "
+                    "lower the drop rate or intensity"
+                )
+            arrivals = faulted.arrivals_ns
+            sizes = faulted.sizes_bytes
+            queues = faulted.queue_ids
+            service = faulted.service_ns
+            goodput_mask = faulted.goodput
         result = simulate_queueing_latency(
             arrivals,
             sizes,
@@ -136,11 +193,13 @@ def run_nfv_experiment(
             n_queues=n_cores,
             nic=nic,
             ring_capacity=ring_capacity,
+            goodput=goodput_mask,
         )
         summaries.append(result.summary)
         achieved.append(result.achieved_gbps)
         offered.append(result.offered_gbps)
         drops.append(result.drop_fraction)
+        goodputs.append(result.goodput_gbps)
         last_run = result
     assert last_run is not None
     return NfvExperimentResult(
@@ -151,6 +210,8 @@ def run_nfv_experiment(
         mean_service_ns=float(service_samples.mean()),
         latencies_us=last_run.latencies_us,
         run_summaries=summaries,
+        goodput_gbps=float(np.median(goodputs)),
+        fault_counters=clock.stats.to_dict() if clock is not None else None,
     )
 
 
@@ -195,7 +256,7 @@ def nfv_result_to_dict(result: NfvExperimentResult) -> Dict[str, object]:
     from repro.stats.percentiles import cdf_points
 
     xs, fs = cdf_points(result.latencies_us, n_points=21)
-    return {
+    payload = {
         "summary": result.summary.to_dict(),
         "achieved_gbps": result.achieved_gbps,
         "offered_gbps": result.offered_gbps,
@@ -205,6 +266,12 @@ def nfv_result_to_dict(result: NfvExperimentResult) -> Dict[str, object]:
         "latency_cdf_us": [float(x) for x in xs],
         "latency_cdf_f": [float(f) for f in fs],
     }
+    # Fault fields only appear when faults were injected, so fault-free
+    # artifacts stay byte-identical to the pre-chaos golden numbers.
+    if result.fault_counters is not None:
+        payload["goodput_gbps"] = result.goodput_gbps
+        payload["fault_counters"] = result.fault_counters
+    return payload
 
 
 def comparison_to_dict(

@@ -1,0 +1,42 @@
+"""Deterministic fault injection (chaos) for the simulated stack.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.plan` — the :class:`FaultPlan`/:class:`FaultClock`
+  core.  A plan is pure data (seed + per-site fault rates, JSON
+  round-trippable); a clock turns a plan into decisions, drawing every
+  decision from a dedicated per-site RNG stream so chaos runs are
+  bit-reproducible and replayable from the persisted plan alone.
+* :mod:`repro.faults.streams` — vectorised fault transforms for the
+  bulk queueing stage of the NFV experiments (drop, corruption,
+  duplication, reorder, stalls over millions of arrivals).
+
+Fault *decisions* never touch the experiment seed stream: with every
+rate at zero a clock draws nothing, so a chaos-capable run is
+bit-identical to one that never heard of faults.
+"""
+
+from repro.faults.plan import (
+    FAULT_CLASSES,
+    FaultClock,
+    FaultPlan,
+    FaultRates,
+    FaultStats,
+    InjectedFault,
+    KvsRequestFault,
+    NfCrashFault,
+)
+from repro.faults.streams import BulkFaultResult, apply_bulk_faults
+
+__all__ = [
+    "FAULT_CLASSES",
+    "FaultClock",
+    "FaultPlan",
+    "FaultRates",
+    "FaultStats",
+    "InjectedFault",
+    "KvsRequestFault",
+    "NfCrashFault",
+    "BulkFaultResult",
+    "apply_bulk_faults",
+]

@@ -1,0 +1,173 @@
+"""A resilient KVS client: retry with capped exponential backoff.
+
+The server side (:class:`~repro.kvs.server.KvsServer`) raises
+:class:`~repro.faults.plan.KvsRequestFault` when the fault clock
+injects a request failure.  This client is the recovery layer: it
+retries the request after an exponentially growing, capped backoff,
+within a per-request timeout budget — all measured in core cycles so
+the cost of resilience shows up in the same unit as service time.
+
+The client catches **only** ``KvsRequestFault``; genuine bugs in the
+server propagate untouched.  Without faults it adds zero cycles and
+performs no bookkeeping beyond one counter read, so fault-free results
+are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.plan import KvsRequestFault
+from repro.kvs.server import KvsServer, KvsWorkloadResult
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff/timeout knobs, all in core cycles.
+
+    The backoff before attempt *k* (k = 1 for the first retry) is
+    ``min(base_backoff_cycles * 2**(k-1), max_backoff_cycles)``.
+    A request whose attempts plus backoffs would exceed
+    ``timeout_budget_cycles`` is abandoned and counted as failed.
+    """
+
+    max_attempts: int = 4
+    base_backoff_cycles: int = 2_000
+    max_backoff_cycles: int = 32_000
+    timeout_budget_cycles: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_cycles < 0 or self.max_backoff_cycles < 0:
+            raise ValueError("backoff cycles must be non-negative")
+        if self.timeout_budget_cycles <= 0:
+            raise ValueError("timeout_budget_cycles must be positive")
+
+    def backoff_cycles(self, retry_index: int) -> int:
+        """Backoff before the *retry_index*-th retry (1-based)."""
+        if retry_index < 1:
+            raise ValueError(f"retry_index must be >= 1, got {retry_index}")
+        shift = min(retry_index - 1, 62)  # avoid silly overflow
+        return min(self.base_backoff_cycles << shift, self.max_backoff_cycles)
+
+
+@dataclass
+class ClientRunResult:
+    """Aggregate outcome of a retried request stream."""
+
+    requests: int
+    succeeded: int
+    failed: int
+    retries: int
+    total_cycles: int
+    backoff_cycles: int
+    freq_ghz: float
+
+    @property
+    def cycles_per_request(self) -> float:
+        """Mean end-to-end cost per issued request (incl. backoffs)."""
+        return self.total_cycles / self.requests if self.requests else 0.0
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of requests abandoned after exhausting retries."""
+        return self.failed / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form."""
+        return {
+            "requests": self.requests,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "retries": self.retries,
+            "total_cycles": self.total_cycles,
+            "backoff_cycles": self.backoff_cycles,
+            "cycles_per_request": self.cycles_per_request,
+            "failure_fraction": self.failure_fraction,
+        }
+
+
+class RetryingKvsClient:
+    """Issues requests against a server, absorbing injected failures."""
+
+    def __init__(
+        self,
+        server: KvsServer,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.server = server
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.retries = 0
+        self.failed_requests = 0
+        self.backoff_cycles_total = 0
+        # Cycles burned by the most recent abandoned request (run()
+        # charges them to the stream total; giving up is not free).
+        self._last_failed_cycles = 0
+
+    def request(self, key: int, is_get: bool) -> Optional[int]:
+        """One request with retries; returns total cycles or ``None``.
+
+        ``None`` means the request was abandoned: every attempt failed,
+        or the timeout budget ran out before the next retry could be
+        issued.  The spent cycles still accumulate into the run totals
+        via :meth:`run` — giving up is not free.
+        """
+        policy = self.policy
+        clock = self.server.faults
+        spent = 0
+        for attempt in range(policy.max_attempts):
+            try:
+                spent += self.server.serve_one(key, is_get)
+                return spent
+            except KvsRequestFault:
+                # The injected failure is consumed here by design: this
+                # is the recovery path the chaos layer exists to test.
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                backoff = policy.backoff_cycles(attempt + 1)
+                if spent + backoff > policy.timeout_budget_cycles:
+                    if clock is not None:
+                        clock.count("kvs.timeout_abandons")
+                    break
+                spent += backoff
+                self.backoff_cycles_total += backoff
+                self.retries += 1
+                if clock is not None:
+                    clock.count("kvs.retries")
+        self.failed_requests += 1
+        if clock is not None:
+            clock.count("kvs.failed_requests")
+        self._last_failed_cycles = spent
+        return None
+
+    def run(
+        self,
+        keys: Sequence[int],
+        is_get: Sequence[bool],
+    ) -> ClientRunResult:
+        """Issue a request stream; returns aggregate statistics."""
+        if len(keys) != len(is_get):
+            raise ValueError("keys and is_get must have equal length")
+        total = 0
+        succeeded = 0
+        failed = 0
+        self._last_failed_cycles = 0
+        for key, get in zip(keys, is_get):
+            cycles = self.request(int(key), bool(get))
+            if cycles is None:
+                failed += 1
+                total += self._last_failed_cycles
+            else:
+                succeeded += 1
+                total += cycles
+        return ClientRunResult(
+            requests=len(keys),
+            succeeded=succeeded,
+            failed=failed,
+            retries=self.retries,
+            total_cycles=total,
+            backoff_cycles=self.backoff_cycles_total,
+            freq_ghz=self.server.context.spec.freq_ghz,
+        )

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.cachesim.ddio import DdioEngine
 from repro.core.slice_aware import SliceAwareContext
+from repro.faults.plan import FaultClock, KvsRequestFault
 from repro.kvs.store import KvsStore
 from repro.mem.address import CACHE_LINE
 
@@ -86,16 +87,32 @@ class KvsServer:
         ]
         self._next_buffer = 0
         self.requests_served = 0
+        #: Fault clock injecting request failures/slowdowns, or ``None``.
+        self.faults: Optional[FaultClock] = None
 
     def serve_one(self, key: int, is_get: bool) -> int:
-        """Serve one request; returns cycles spent by the core."""
+        """Serve one request; returns cycles spent by the core.
+
+        Raises:
+            KvsRequestFault: when the fault clock injects a server-side
+                failure (the request is lost; clients retry).
+        """
         hierarchy = self.hierarchy
         core = self.core
+        clock = self.faults
+        if clock is not None and clock.fires("kvs.fail", clock.rates.kvs_fail):
+            clock.count("kvs.injected_failures")
+            raise KvsRequestFault(f"injected failure serving key {key}")
         # Request arrives: NIC DMA-writes 128 B into the next RX buffer.
         rx = self._rx_buffers[self._next_buffer]
         self._next_buffer = (self._next_buffer + 1) % len(self._rx_buffers)
         self.ddio.dma_write(rx, REQUEST_BYTES)
         cycles = self.fixed_cost
+        if clock is not None and clock.fires("kvs.slow", clock.rates.kvs_slow):
+            # Server-side hiccup (SMI, scheduler preemption): the
+            # request completes but pays extra cycles.
+            cycles += clock.rates.kvs_slow_cycles
+            clock.count("kvs.injected_slow_requests")
         # Core parses the request (two lines of the 128 B packet).
         cycles += hierarchy.read(core, rx, REQUEST_BYTES)
         # Index probe.

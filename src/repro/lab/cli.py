@@ -77,6 +77,11 @@ def _cmd_lab_run(args: argparse.Namespace) -> int:
     if failed:
         for name in failed:
             print(f"FAILED {name}: {report.experiments[name].error}", file=sys.stderr)
+        print(
+            f"lab run: {len(failed)} experiment(s) still failing after "
+            f"{report.retries} retries: {', '.join(failed)} — exiting nonzero",
+            file=sys.stderr,
+        )
     print(f"wrote {manifest_path}")
     return 0 if report.ok else 1
 

@@ -79,6 +79,45 @@ def _fig15_merge(params: Mapping[str, Any], results: Sequence[Any]) -> Any:
     )
 
 
+def _chaos_tail_tasks(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """One task per (fault class, arm) cell of the chaos matrix."""
+    from repro.experiments.chaos import DEFAULT_TAIL_CLASSES
+
+    base = dict(params)
+    classes = base.pop("classes", None) or list(DEFAULT_TAIL_CLASSES)
+    return [
+        dict(base, fault_class=fault_class, cache_director=cache_director)
+        for fault_class in classes
+        for cache_director in (False, True)
+    ]
+
+
+def _chaos_tail_merge(params: Mapping[str, Any], results: Sequence[Any]) -> Any:
+    from repro.experiments.chaos import assemble_chaos_tail
+
+    return assemble_chaos_tail(params, list(results))
+
+
+def _knee_tasks(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """One task per (intensity, arm) point of the degradation sweep."""
+    from repro.experiments.chaos import DEFAULT_INTENSITIES
+
+    base = dict(params)
+    grid = base.pop("intensities", None)
+    grid = [float(v) for v in (grid or DEFAULT_INTENSITIES)]
+    return [
+        dict(base, intensity=intensity, cache_director=cache_director)
+        for intensity in grid
+        for cache_director in (False, True)
+    ]
+
+
+def _knee_merge(params: Mapping[str, Any], results: Sequence[Any]) -> Any:
+    from repro.experiments.chaos import assemble_degradation_knee
+
+    return assemble_degradation_knee(params, list(results))
+
+
 # ----------------------------------------------------------------------
 # Registry construction
 # ----------------------------------------------------------------------
@@ -97,6 +136,14 @@ def _build() -> Registry:
     from repro.experiments.fig06_speedup import fig06_to_dict, run_fig06
     from repro.experiments.fig07_ops_sweep import fig07_to_dict, run_fig07
     from repro.experiments.fig08_kvs import fig08_to_dict, run_fig08
+    from repro.experiments.chaos import (
+        chaos_tail_to_dict,
+        degradation_knee_to_dict,
+        run_chaos_tail,
+        run_chaos_tail_arm,
+        run_degradation_knee,
+        run_degradation_point,
+    )
     from repro.experiments.fig12_low_rate import fig12_to_dict, run_fig12
     from repro.experiments.fig13_forwarding import run_fig13, run_fig13_arm
     from repro.experiments.fig14_service_chain import run_fig14, run_fig14_arm
@@ -384,6 +431,67 @@ def _build() -> Registry:
         serializer=multitenant_to_dict,
         default_params={"n_ops": 4000},
         reduced_params={"n_ops": 1200},
+    ))
+
+    registry.register(ExperimentSpec(
+        name="chaos-tail",
+        title="Chaos — tail latency per fault class (DPDK vs +CD)",
+        runner=run_chaos_tail,
+        serializer=chaos_tail_to_dict,
+        default_params={
+            "chain": "forwarding",
+            "offered_gbps": 100.0,
+            "n_bulk_packets": 60_000,
+            "micro_packets": 1500,
+            "runs": 2,
+            "engine": "fast",
+        },
+        reduced_params={
+            "chain": "forwarding",
+            "classes": ["none", "nic-drop", "mempool", "nf-crash", "mixed"],
+            "offered_gbps": 100.0,
+            "n_bulk_packets": 15_000,
+            "micro_packets": 400,
+            "runs": 1,
+            "engine": "fast",
+        },
+        split=SplitSpec(
+            task_runner=run_chaos_tail_arm,
+            make_tasks=_chaos_tail_tasks,
+            merge=_chaos_tail_merge,
+        ),
+        tags=("chaos",),
+    ))
+    registry.register(ExperimentSpec(
+        name="degradation-knee",
+        title="Chaos — goodput vs fault intensity (degradation knee)",
+        runner=run_degradation_knee,
+        serializer=degradation_knee_to_dict,
+        default_params={
+            "fault_class": "mixed",
+            "chain": "stateful",
+            "offered_gbps": 40.0,
+            "n_bulk_packets": 60_000,
+            "micro_packets": 1500,
+            "runs": 1,
+            "engine": "fast",
+        },
+        reduced_params={
+            "fault_class": "mixed",
+            "chain": "stateful",
+            "offered_gbps": 40.0,
+            "intensities": [0.0, 1.0, 2.0, 4.0, 8.0],
+            "n_bulk_packets": 12_000,
+            "micro_packets": 400,
+            "runs": 1,
+            "engine": "fast",
+        },
+        split=SplitSpec(
+            task_runner=run_degradation_point,
+            make_tasks=_knee_tasks,
+            merge=_knee_merge,
+        ),
+        tags=("chaos",),
     ))
 
     registry.register(ExperimentSpec(

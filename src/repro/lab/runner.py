@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.faults.plan import InjectedFault
 from repro.lab.registry import default_registry
 from repro.lab.spec import ExperimentSpec
 
@@ -190,7 +191,10 @@ def _run_tasks_inline(
                 )
                 break
             except Exception as exc:  # noqa: BLE001 - report, don't crash
-                if attempts <= retries:
+                # An escaped InjectedFault means a resilience layer
+                # failed to absorb its own chaos — a determinism bug a
+                # retry would only mask.  Fail immediately.
+                if not isinstance(exc, InjectedFault) and attempts <= retries:
                     continue
                 outcomes[task.key] = TaskOutcome(
                     task,
@@ -237,7 +241,11 @@ def _run_tasks_pooled(
                 result, duration = future.result()
             except Exception as exc:  # noqa: BLE001 - includes BrokenProcessPool
                 error = _describe_error(exc)
-                if attempts[task.key] <= retries:
+                # Escaped injected faults are fatal (see inline runner).
+                if (
+                    not isinstance(exc, InjectedFault)
+                    and attempts[task.key] <= retries
+                ):
                     queue.append(task)
                     retry_note(task, attempts[task.key], error)
                 else:

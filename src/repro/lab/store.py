@@ -53,7 +53,7 @@ def environment_info() -> Dict[str, Any]:
         import numpy
 
         numpy_version = numpy.__version__
-    except Exception:  # pragma: no cover - numpy is a hard dep elsewhere
+    except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
         numpy_version = None
     return {
         "python": sys.version.split()[0],
@@ -128,6 +128,9 @@ class RunStore:
             "retries": report.retries,
             "wall_clock_s": round(report.wall_clock_s, 3),
             "ok": report.ok,
+            # Explicit failure roll-up so CI and humans can see at a
+            # glance which experiments never produced an artifact.
+            "failed": report.failed_names(),
             "environment": environment_info(),
             "experiments": index,
         }

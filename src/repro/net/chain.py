@@ -21,6 +21,7 @@ from repro.dpdk.mbuf import DEFAULT_DATAROOM, DEFAULT_HEADROOM, Mbuf
 from repro.dpdk.mempool import Mempool
 from repro.dpdk.nic import Nic
 from repro.dpdk.pmd import PollModeDriver
+from repro.faults.plan import FaultClock
 from repro.net.nf import (
     LpmRouter,
     MacSwapForwarder,
@@ -114,6 +115,9 @@ class DutConfig:
     #: Cache-access engine for the microsimulation: ``"reference"`` or
     #: ``"fast"`` (identical outcomes; see ``repro.cachesim.engine``).
     engine: str = "reference"
+    #: Optional mempool ``(low, high)`` in-use watermarks; when set the
+    #: NIC sheds load under pressure instead of exhausting the pool.
+    watermarks: Optional[Tuple[int, int]] = None
 
 
 class DutEnvironment:
@@ -122,12 +126,17 @@ class DutEnvironment:
     Args:
         config: hardware/software configuration.
         chain_factory: builds the service chain to run.
+        faults: fault clock driving injection in the NIC, mempool and
+            chain (``None`` runs fault-free; the wiring below then adds
+            no objects and the DuT behaves bit-identically to one built
+            without this parameter).
     """
 
     def __init__(
         self,
         config: DutConfig,
         chain_factory: Callable[[], ServiceChain] = simple_forwarding_chain,
+        faults: Optional[FaultClock] = None,
     ) -> None:
         self.config = config
         self.context = SliceAwareContext(config.spec, seed=config.seed)
@@ -156,6 +165,7 @@ class DutEnvironment:
             allocator=self.context.contiguous_allocator,
             n_mbufs=config.n_mbufs,
             data_room=data_room,
+            watermarks=config.watermarks,
         )
         self.nic = Nic(
             n_queues=config.n_cores,
@@ -169,20 +179,46 @@ class DutEnvironment:
         self.pmd = PollModeDriver(self.nic, hierarchy)
         self.chain = chain_factory()
         self.chain.setup(self.context)
+        self.faults = faults
+        self.supervisor = None
+        if faults is not None:
+            # Imported here: supervisor.py needs ServiceChain from this
+            # module, so a top-level import would be circular.
+            from repro.net.supervisor import NfSupervisor
+
+            self.mempool.faults = faults
+            self.nic.faults = faults
+            self.supervisor = NfSupervisor(self.chain, self.context, faults)
 
     def process_packet(self, packet: Packet, queue: int) -> Optional[int]:
         """Deliver, poll, process and transmit one packet.
 
         Returns the cycles the polling core spent, or ``None`` when the
-        packet was dropped at the NIC.
+        packet was dropped — at the NIC (injected wire loss, pool
+        pressure or exhaustion, ring full), at the PMD's FCS check, or
+        inside the chain (injected NF crash).
         """
         if self.nic.deliver(packet, packet.size, queue) is None:
             return None
         mbufs, cycles = self.pmd.rx_burst(queue, max_packets=1)
+        if not mbufs:
+            # The frame was discarded at the FCS check after delivery.
+            return None
         core = self.nic.queue_to_core[queue]
+        survivors = []
         for mbuf in mbufs:
-            cycles += self.chain.process(core, mbuf)
-        cycles += self.pmd.tx_burst(queue, mbufs)
+            if self.supervisor is not None:
+                nf_cycles = self.supervisor.process(core, mbuf)
+                if nf_cycles is None:
+                    self.mempool.free(mbuf)
+                    continue
+                cycles += nf_cycles
+            else:
+                cycles += self.chain.process(core, mbuf)
+            survivors.append(mbuf)
+        if not survivors:
+            return None
+        cycles += self.pmd.tx_burst(queue, survivors)
         return cycles
 
     def service_cycles(

@@ -107,8 +107,19 @@ class LpmRouter(NetworkFunction):
         self.misses = 0
 
     def setup(self, context: SliceAwareContext) -> None:
-        """Install *n_routes* synthetic routes and allocate the tables."""
+        """Install *n_routes* synthetic routes and allocate the tables.
+
+        Re-entrant: a supervisor restart calls this again and gets a
+        freshly-built table in newly-allocated (cache-cold) memory —
+        the crashed instance's warmed state is gone.
+        """
         super().setup(context)
+        self.routes = []
+        self._tbl24 = {}
+        self._tbl24_len = {}
+        self._tbl8 = []
+        self.lookups = 0
+        self.misses = 0
         self._tbl24_mem: LinearBuffer = context.allocate_normal(2 * (1 << 24))
         self._tbl8_mem: LinearBuffer = context.allocate_normal(1 << 20)
         rng = np.random.default_rng(self.seed)
@@ -213,8 +224,16 @@ class Napt(NetworkFunction):
         self.reverse: Dict[int, FiveTuple] = {}
 
     def setup(self, context: SliceAwareContext) -> None:
-        """Allocate the bucket array (64 B per bucket)."""
+        """Allocate the bucket array (64 B per bucket).
+
+        Re-entrant: a supervisor restart loses every translation (the
+        paper's NFs keep state in process memory) and starts over in
+        cold memory.
+        """
         super().setup(context)
+        self.translations = {}
+        self.reverse = {}
+        self._next_port = 1024
         self._table_mem: LinearBuffer = context.allocate_normal(
             CACHE_LINE << self.table_bits
         )
@@ -265,8 +284,14 @@ class RoundRobinLoadBalancer(NetworkFunction):
         self._next_backend = 0
 
     def setup(self, context: SliceAwareContext) -> None:
-        """Allocate the flow-table bucket array."""
+        """Allocate the flow-table bucket array.
+
+        Re-entrant: restarts drop flow stickiness and re-assign from
+        backend 0 over a cold table.
+        """
         super().setup(context)
+        self.assignments = {}
+        self._next_backend = 0
         self._table_mem: LinearBuffer = context.allocate_normal(
             CACHE_LINE << self.table_bits
         )

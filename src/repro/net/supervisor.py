@@ -1,0 +1,132 @@
+"""NF supervision: crash/stall injection and bounded restarts.
+
+The supervisor sits between the DuT's packet path and the service
+chain.  Per packet and per NF it consults the fault clock: an injected
+crash (:class:`~repro.faults.plan.NfCrashFault`) loses the in-flight
+packet and triggers a restart — the NF's ``setup()`` runs again,
+re-allocating its state in fresh (cache-cold) memory through the
+existing hierarchy, so the re-warm cost shows up in subsequent
+packets' service times rather than as a synthetic constant.  Restarts
+are bounded; an NF that keeps crashing past the bound takes the chain
+down and every further packet is shed (and counted) instead of raising.
+
+Without a fault clock the supervisor is a transparent pass-through:
+``process`` delegates straight to the chain, adding no cycles and
+drawing no randomness — a supervised fault-free run is bit-identical
+to an unsupervised one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.slice_aware import SliceAwareContext
+from repro.dpdk.mbuf import Mbuf
+from repro.faults.plan import FaultClock, NfCrashFault
+from repro.net.chain import ServiceChain
+
+#: Fixed supervisor overhead of one restart (fork/exec, config reload)
+#: charged to the polling core on the packet that observed the crash.
+DEFAULT_RESTART_CYCLES = 150_000
+
+
+class NfSupervisor:
+    """Runs a service chain under fault injection with bounded restarts.
+
+    Args:
+        chain: the supervised service chain.
+        context: machine context the chain was set up against; restarts
+            re-run ``nf.setup(context)`` so replacement state is
+            allocated cold through the same hierarchy.
+        faults: fault clock driving crash/stall decisions (``None``
+            disables injection entirely).
+        max_restarts: per-NF restart budget; exceeding it marks the
+            chain down (packets shed, no exception).
+        restart_cycles: fixed cycle cost of one restart.
+    """
+
+    def __init__(
+        self,
+        chain: ServiceChain,
+        context: SliceAwareContext,
+        faults: Optional[FaultClock] = None,
+        max_restarts: int = 8,
+        restart_cycles: int = DEFAULT_RESTART_CYCLES,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be non-negative, got {max_restarts}")
+        if restart_cycles < 0:
+            raise ValueError(f"restart_cycles must be non-negative, got {restart_cycles}")
+        self.chain = chain
+        self.context = context
+        self.faults = faults
+        self.max_restarts = max_restarts
+        self.restart_cycles = restart_cycles
+        self.restarts: Dict[str, int] = {}
+        self.crashes = 0
+        self.dropped_crash = 0
+        self.dropped_down = 0
+        self.chain_down = False
+
+    def _handle_crash(self, nf_name: str, fault: NfCrashFault) -> int:
+        """Restart (or declare the chain down); returns cycles spent."""
+        clock = self.faults
+        assert clock is not None  # crashes only fire with a clock
+        self.crashes += 1
+        self.dropped_crash += 1
+        clock.count("nf.crashes")
+        clock.count(f"nf.crashes.{nf_name}")
+        used = self.restarts.get(nf_name, 0)
+        if used >= self.max_restarts:
+            # Budget exhausted: shed instead of crash-looping.  The
+            # injected fault is intentionally consumed here — this is
+            # the recovery path, not a swallowed error.
+            self.chain_down = True
+            clock.count("nf.chain_down")
+            return 0
+        self.restarts[nf_name] = used + 1
+        clock.count("nf.restarts")
+        for nf in self.chain.nfs:
+            if nf.name == nf_name:
+                nf.setup(self.context)
+                break
+        else:
+            raise fault  # unknown NF: a bug, never swallow it
+        return self.restart_cycles
+
+    def process(self, core: int, mbuf: Mbuf) -> Optional[int]:
+        """Run one packet through the supervised chain.
+
+        Returns the cycles the core spent, or ``None`` when the packet
+        was lost (crash in flight, or chain down).  Injected stalls
+        add their cycle cost to the packet that suffered them.
+        """
+        clock = self.faults
+        if clock is None:
+            return self.chain.process(core, mbuf)
+        if self.chain_down:
+            self.dropped_down += 1
+            clock.count("nf.dropped_chain_down")
+            return None
+        rates = clock.rates
+        cycles = self.chain.framework_cycles
+        for nf in self.chain.nfs:
+            if clock.fires("nf.crash", rates.nf_crash):
+                cycles += self._handle_crash(nf.name, NfCrashFault(nf.name))
+                return None
+            if clock.fires("nf.stall", rates.nf_stall):
+                cycles += rates.nf_stall_cycles
+                clock.count("nf.injected_stalls")
+            cycles += nf.process(core, mbuf)
+        self.chain.packets_processed += 1
+        return cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready restart/drop accounting."""
+        return {
+            "crashes": self.crashes,
+            "restarts": dict(sorted(self.restarts.items())),
+            "dropped_crash": self.dropped_crash,
+            "dropped_down": self.dropped_down,
+            "chain_down": self.chain_down,
+        }

@@ -1,0 +1,30 @@
+"""SIM401 fixture: fault-injection code rolling its own RNG.
+
+Fault hooks must draw every random decision from
+``FaultClock.stream(site)`` so a persisted FaultPlan replays
+bit-identically; a private RNG hides the draw from the plan.
+"""
+
+import random
+
+import numpy as np
+
+
+def inject_packet_drop(seed):
+    rng = np.random.default_rng(seed)  # finding: private RNG in inject_*
+    return rng.random() < 0.1
+
+
+def fault_window_length(seed):
+    rng = random.Random(seed)  # finding: private RNG in *fault*
+    return rng.randint(8, 64)
+
+
+def inject_with_blessing(seed):
+    rng = np.random.default_rng(seed)  # simcheck: ignore[SIM401] migration shim
+    return rng.random()
+
+
+def workload_addresses(seed):
+    # Not fault-injection code: a seeded generator here is fine.
+    return np.random.default_rng(seed).integers(0, 1 << 20, 16)

@@ -34,6 +34,16 @@ def _always_failing_runner(seed=0):
     raise ValueError("boom")
 
 
+def _escaped_fault_runner(counter_path="", seed=0):
+    """Simulates a resilience bug: an InjectedFault escapes the run."""
+    from repro.faults.plan import KvsRequestFault
+
+    path = Path(counter_path)
+    n = int(path.read_text()) if path.exists() else 0
+    path.write_text(str(n + 1))
+    raise KvsRequestFault("escaped the resilience layer")
+
+
 def _sleeper_runner(duration=5.0, seed=0):
     time.sleep(duration)
     return {"slept": duration}
@@ -165,7 +175,53 @@ class TestRetries:
         assert "ValueError: boom" in entry["error"]
         assert entry["artifact"] is None
         assert loaded["manifest"]["ok"] is False
+        assert loaded["manifest"]["failed"] == ["lab-test-broken"]
         assert "lab-test-broken" not in loaded["experiments"]
+
+
+class TestEscapedInjectedFaults:
+    """An InjectedFault reaching the runner is a resilience bug: no retry."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_escaped_fault_fails_without_retry(self, inject, tmp_path, jobs):
+        counter = tmp_path / f"escape-{jobs}"
+        inject(
+            name="lab-test-escape",
+            title="escape",
+            runner=_escaped_fault_runner,
+            default_params={"counter_path": str(counter)},
+        )
+        report = run_matrix(["lab-test-escape"], jobs=jobs, retries=3)
+        outcome = report.experiments["lab-test-escape"]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 1  # fatal on first sight, despite retries=3
+        assert int(counter.read_text()) == 1  # the runner really ran once
+        assert "KvsRequestFault" in outcome.error
+
+    def test_ordinary_failure_still_retries_alongside(self, inject, tmp_path):
+        """Sanity: the no-retry rule is specific to InjectedFault."""
+        inject(
+            name="lab-test-escape2",
+            title="escape",
+            runner=_escaped_fault_runner,
+            default_params={"counter_path": str(tmp_path / "escape2")},
+        )
+        inject(
+            name="lab-test-transient",
+            title="transient",
+            runner=_flaky_runner,
+            default_params={
+                "counter_path": str(tmp_path / "transient"),
+                "fail_times": 1,
+            },
+        )
+        report = run_matrix(
+            ["lab-test-escape2", "lab-test-transient"], jobs=1, retries=2
+        )
+        assert report.experiments["lab-test-escape2"].attempts == 1
+        assert report.experiments["lab-test-transient"].status == "ok"
+        assert report.experiments["lab-test-transient"].attempts == 2
+        assert report.failed_names() == ["lab-test-escape2"]
 
 
 class TestTimeouts:

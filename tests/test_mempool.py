@@ -3,6 +3,7 @@
 import pytest
 
 from repro.dpdk.mempool import Mempool, MempoolEmptyError
+from repro.faults.plan import FaultClock, FaultPlan, FaultRates
 from repro.mem.address import CACHE_LINE, PAGE_1G
 from repro.mem.allocator import ContiguousAllocator
 from repro.mem.hugepage import PhysicalAddressSpace
@@ -104,3 +105,92 @@ class TestAllocFree:
         m = pool.alloc()
         pool.free(m)
         assert pool.alloc().udata64 == 0xDEAD
+
+    def test_double_free_detected(self, allocator):
+        pool = make_pool(allocator, n=2)
+        mbuf = pool.alloc()
+        pool.free(mbuf)
+        with pytest.raises(RuntimeError, match="double free"):
+            pool.free(mbuf)
+
+
+class TestWatermarks:
+    def test_no_watermarks_means_no_pressure(self, allocator):
+        pool = make_pool(allocator, n=4)
+        pool.alloc_bulk(4)
+        assert not pool.under_pressure
+
+    def test_hysteresis_on_at_high_off_at_low(self, allocator):
+        pool = Mempool("wm", allocator, n_mbufs=8, watermarks=(2, 6))
+        taken = [pool.alloc() for _ in range(5)]
+        assert not pool.under_pressure  # in_use=5 < high=6
+        taken.append(pool.alloc())
+        assert pool.under_pressure  # reached high
+        # Falling below high but above low keeps pressure latched.
+        pool.free(taken.pop())
+        pool.free(taken.pop())
+        pool.free(taken.pop())
+        assert pool.under_pressure  # in_use=3, low=2 not reached
+        pool.free(taken.pop())
+        assert not pool.under_pressure  # in_use=2 == low: released
+        # Re-arming requires climbing back to high again.
+        taken.append(pool.alloc())
+        assert not pool.under_pressure
+
+    def test_invalid_watermarks_rejected(self, allocator):
+        for bad in ((4, 4), (6, 2), (-1, 4), (2, 9)):
+            with pytest.raises(ValueError):
+                Mempool("bad", allocator, n_mbufs=8, watermarks=bad)
+
+
+class TestInjectedFaults:
+    """Fault-clock hooks: failures despite free elements, with counters."""
+
+    def _clock(self, **rates):
+        return FaultClock(FaultPlan(seed=0, rates=FaultRates(**rates)))
+
+    def test_transient_alloc_fail(self, allocator):
+        pool = make_pool(allocator, n=4)
+        pool.faults = self._clock(mempool_alloc_fail=1.0)
+        with pytest.raises(MempoolEmptyError, match="injected"):
+            pool.alloc()
+        assert pool.try_alloc() is None
+        assert pool.available == 4  # no element was consumed
+        assert pool.alloc_failures == 2
+        assert pool.faults.stats.to_dict()["mempool.transient_alloc_fails"] == 2
+
+    def test_exhaustion_window_fails_consecutive_allocs(self, allocator):
+        pool = make_pool(allocator, n=4)
+        pool.faults = self._clock(
+            mempool_exhaust=1.0,
+            mempool_exhaust_allocs_min=3,
+            mempool_exhaust_allocs_max=3,
+        )
+        for _ in range(6):
+            assert pool.try_alloc() is None
+        counters = pool.faults.stats.to_dict()
+        assert counters["mempool.exhaust_windows"] == 2  # two 3-alloc windows
+        assert counters["mempool.exhaust_window_fails"] == 6
+
+    def test_zero_rates_clock_is_inert(self, allocator):
+        pool = make_pool(allocator, n=2)
+        pool.faults = self._clock()
+        assert pool.alloc() is not None
+        assert pool.alloc_failures == 0
+        assert pool.faults.stats.to_dict() == {}
+
+    def test_alloc_bulk_all_or_nothing_under_injection(self, allocator):
+        pool = make_pool(allocator, n=8)
+        pool.faults = self._clock(mempool_alloc_fail=0.5)
+        with pytest.raises(MempoolEmptyError):
+            pool.alloc_bulk(8)  # seed-0 stream fails mid-bulk
+        assert pool.available == 8  # partial allocations were returned
+
+    def test_fault_decisions_are_replayable(self, allocator):
+        outcomes = []
+        for _ in range(2):
+            pool = make_pool(allocator, n=8)
+            pool.faults = self._clock(mempool_alloc_fail=0.3)
+            outcomes.append([pool.try_alloc() is None for _ in range(8)])
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0])  # the stream does fire at this rate

@@ -57,3 +57,46 @@ class TestRing:
         ring = Ring(4)
         ring.enqueue(1)
         assert ring.free_count == 3
+
+    def test_full_ring_recovers_after_drain(self):
+        """A ring that hit full must accept again once drained (the NIC
+        re-admits after PMD catch-up)."""
+        ring = Ring(2)
+        ring.enqueue(1)
+        ring.enqueue(2)
+        assert not ring.enqueue(3)
+        assert ring.dequeue() == 1
+        assert not ring.full
+        assert ring.enqueue(4)
+        assert [ring.dequeue(), ring.dequeue()] == [2, 4]
+        assert ring.empty
+
+    def test_burst_enqueue_into_full_ring(self):
+        ring = Ring(2)
+        ring.enqueue_burst([1, 2])
+        assert ring.enqueue_burst([3, 4]) == 0
+        assert ring.enqueue_drops == 1  # burst stops at the first drop
+        assert len(ring) == 2
+
+    def test_drop_counter_accumulates(self):
+        ring = Ring(2)
+        ring.enqueue_burst([1, 2])
+        for i in range(3):
+            assert not ring.enqueue(i)
+        assert ring.enqueue_drops == 3
+
+    def test_burst_dequeue_empty(self):
+        assert Ring(4).dequeue_burst(4) == []
+
+    def test_interleaved_wraparound_keeps_fifo(self):
+        """Sustained enqueue/dequeue cycling far past the capacity
+        preserves FIFO order (index wraparound territory in rte_ring)."""
+        ring = Ring(4)
+        out = []
+        seq = iter(range(100))
+        ring.enqueue_burst([next(seq) for _ in range(3)])
+        for _ in range(40):
+            out.extend(ring.dequeue_burst(2))
+            ring.enqueue_burst([next(seq), next(seq)])
+        out.extend(ring.dequeue_burst(4))
+        assert out == sorted(out)

@@ -41,6 +41,7 @@ def codes(findings):
         ("sim003_set_iter.py", "SIM003", 2),
         ("sim101_seed_thread.py", "SIM101", 1),
         ("sim102_typing_lie.py", "SIM102", 2),
+        ("sim401_fault_rng.py", "SIM401", 2),
     ],
 )
 def test_rule_fires_on_fixture(fixture, code, active_count):
@@ -219,6 +220,40 @@ def test_ignore_file_suppresses_file_scope_findings(tmp_path):
     result = run_simcheck([tmp_path], root=tmp_path)
     assert codes(result.active) == []
     assert sorted(codes(result.suppressed)) == ["SIM301", "SIM302"]
+
+
+# ----------------------------------------------------------------------
+# SIM401 — fault modules (tmp tree; the fixture covers the name heuristic)
+# ----------------------------------------------------------------------
+
+def test_sim401_flags_rng_in_faults_module(tmp_path):
+    files = {
+        "faults/hooks.py": """
+            import numpy as np
+
+            def maybe_drop(seed):
+                return np.random.default_rng(seed).random() < 0.5
+            """,
+    }
+    _write_tree(tmp_path, files)
+    result = run_simcheck([tmp_path], root=tmp_path)
+    assert codes(result.active) == ["SIM401"]
+    assert "hooks.py" in result.active[0].path
+
+
+def test_sim401_exempts_the_plan_stream_factory(tmp_path):
+    files = {
+        "faults/plan.py": """
+            import numpy as np
+
+            class FaultClock:
+                def stream(self, site, seed):
+                    return np.random.default_rng([seed, 12345])
+            """,
+    }
+    _write_tree(tmp_path, files)
+    result = run_simcheck([tmp_path], root=tmp_path)
+    assert codes(result.active) == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,130 @@
+"""Unit tests for NF supervision: restarts, chain-down shedding, stalls."""
+
+import pytest
+
+from repro.faults.plan import FaultClock, FaultPlan, FaultRates, NfCrashFault
+from repro.net.chain import DutConfig, DutEnvironment, simple_forwarding_chain
+from repro.net.packet import FiveTuple, Packet
+from repro.net.supervisor import NfSupervisor
+
+
+def _clock(seed=0, **rates):
+    return FaultClock(FaultPlan(seed=seed, rates=FaultRates(**rates)))
+
+
+def packet(flow_id=1, size=64):
+    return Packet(size=size, flow=FiveTuple(flow_id, 2, 3, 4, 6))
+
+
+class TestValidation:
+    def test_negative_budgets_rejected(self):
+        env = DutEnvironment(DutConfig(), simple_forwarding_chain)
+        with pytest.raises(ValueError):
+            NfSupervisor(env.chain, env.context, max_restarts=-1)
+        with pytest.raises(ValueError):
+            NfSupervisor(env.chain, env.context, restart_cycles=-1)
+
+
+class TestTransparency:
+    def test_zero_rate_clock_is_bit_transparent(self):
+        """A supervised all-zero-rate run equals an unsupervised one."""
+        plain = DutEnvironment(DutConfig(), simple_forwarding_chain)
+        clock = _clock()
+        chaotic = DutEnvironment(
+            DutConfig(), simple_forwarding_chain, faults=clock
+        )
+        assert chaotic.supervisor is not None
+        for i in range(10):
+            p = packet(flow_id=i % 3)
+            assert chaotic.process_packet(p, queue=0) == plain.process_packet(
+                p, queue=0
+            )
+        assert clock._streams == {}  # zero rates never drew randomness
+        assert clock.stats.to_dict() == {}
+        assert chaotic.supervisor.to_dict() == {
+            "crashes": 0,
+            "restarts": {},
+            "dropped_crash": 0,
+            "dropped_down": 0,
+            "chain_down": False,
+        }
+
+    def test_no_clock_delegates_to_chain(self):
+        env = DutEnvironment(DutConfig(), simple_forwarding_chain)
+        sup = NfSupervisor(env.chain, env.context)
+        mbuf = env.mempool.alloc()
+        before = env.chain.packets_processed
+        assert sup.process(0, mbuf) is not None
+        assert env.chain.packets_processed == before + 1
+        env.mempool.free(mbuf)
+
+
+class TestCrashRecovery:
+    def test_bounded_restarts_then_chain_down(self):
+        """Crash-looping an NF exhausts its budget, then packets shed."""
+        clock = _clock(nf_crash=1.0)
+        env = DutEnvironment(
+            DutConfig(), simple_forwarding_chain, faults=clock
+        )
+        sup = env.supervisor
+        results = [env.process_packet(packet(flow_id=i), 0) for i in range(12)]
+        assert all(r is None for r in results)  # every packet lost or shed
+        # 8 restarts (the default budget), then the 9th crash downs the
+        # chain and the remaining 3 packets are shed without crashing.
+        assert sup.crashes == 9
+        assert sum(sup.restarts.values()) == 8
+        assert sup.chain_down
+        assert sup.dropped_crash == 9
+        assert sup.dropped_down == 3
+        stats = clock.stats.to_dict()
+        assert stats["nf.crashes"] == 9
+        assert stats["nf.restarts"] == 8
+        assert stats["nf.chain_down"] == 1
+        assert stats["nf.dropped_chain_down"] == 3
+        # Lost packets were freed back to the pool, not leaked.
+        assert env.mempool.in_use == 0
+
+    def test_zero_budget_downs_chain_on_first_crash(self):
+        clock = _clock(nf_crash=1.0)
+        env = DutEnvironment(
+            DutConfig(), simple_forwarding_chain, faults=clock
+        )
+        env.supervisor = NfSupervisor(
+            env.chain, env.context, clock, max_restarts=0
+        )
+        assert env.process_packet(packet(), 0) is None
+        assert env.supervisor.chain_down
+        assert env.supervisor.restarts == {}
+
+    def test_restart_charges_fixed_cost(self):
+        """The packet that observed the crash pays the restart cycles."""
+        clock = _clock(nf_crash=1.0)
+        env = DutEnvironment(
+            DutConfig(), simple_forwarding_chain, faults=clock
+        )
+        sup = NfSupervisor(
+            env.chain, env.context, clock, restart_cycles=123_456
+        )
+        mbuf = env.mempool.alloc()
+        assert sup.process(0, mbuf) is None  # packet lost to the crash
+        assert sup.restarts == {env.chain.nfs[0].name: 1}
+        env.mempool.free(mbuf)
+
+    def test_unknown_nf_crash_is_never_swallowed(self):
+        env = DutEnvironment(DutConfig(), simple_forwarding_chain)
+        sup = NfSupervisor(env.chain, env.context, _clock(nf_crash=1.0))
+        with pytest.raises(NfCrashFault):
+            sup._handle_crash("no-such-nf", NfCrashFault("no-such-nf"))
+
+
+class TestStalls:
+    def test_stall_adds_exactly_its_cycle_cost(self):
+        plain = DutEnvironment(DutConfig(), simple_forwarding_chain)
+        clock = _clock(nf_stall=1.0, nf_stall_cycles=20_000)
+        stalled = DutEnvironment(
+            DutConfig(), simple_forwarding_chain, faults=clock
+        )
+        base = plain.process_packet(packet(), 0)
+        slow = stalled.process_packet(packet(), 0)
+        assert slow == base + 20_000
+        assert clock.stats.get("nf.injected_stalls") == 1

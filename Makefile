@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test diff-test bench bench-full quick examples figures lab lab-compare check lint sanitize-lab chaos-smoke clean
+.PHONY: install test test-fast diff-test bench bench-full bench-trajectory quick examples figures lab lab-compare check lint sanitize-lab chaos-smoke clean
 
 LAB_DIR ?= lab-runs/latest
 LAB_JOBS ?= 4
@@ -12,6 +12,10 @@ install:
 
 test:
 	$(PY) -m pytest tests/ -q
+
+# Everything except the multi-second lab/chaos integration tests.
+test-fast:
+	$(PY) -m pytest tests/ -q -m "not slow"
 
 # Fast-vs-reference engine equivalence: the differential replay harness
 # plus the hypothesis property suite (see docs/MODEL.md).
@@ -24,6 +28,16 @@ bench:
 # Closer to the paper's sample counts (10x samples; much slower).
 bench-full:
 	REPRO_BENCH_SCALE=10 $(PY) -m pytest benchmarks/ --benchmark-only -q -s
+
+# Persisted perf trajectory: measure the declared suite, write the next
+# BENCH_NNNN.json, and gate it against the previous artifact (see
+# docs/BENCH.md).  BENCH_SCALE/BENCH_ARGS tune sizing, e.g.
+#   make bench-trajectory BENCH_SCALE=full BENCH_ARGS="--samples 5"
+BENCH_SCALE ?= smoke
+BENCH_ARGS ?=
+bench-trajectory:
+	$(PY) -m repro bench run --scale $(BENCH_SCALE) $(BENCH_ARGS)
+	$(PY) -m repro bench compare
 
 quick:
 	$(PY) examples/quickstart.py

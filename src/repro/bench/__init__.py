@@ -1,0 +1,72 @@
+"""Persisted performance trajectory: the ``repro bench`` subsystem.
+
+The lab (:mod:`repro.lab`) proves experiment *results* stay correct;
+this package records how *fast* the simulator computes them, run after
+run, PR after PR.  ``repro bench run`` executes a declared suite of
+benchmark entries (figure pipelines via the lab registry plus engine
+microbenches) with warmup and repeated timed samples, then persists a
+schema-versioned ``BENCH_NNNN.json`` artifact at the repo root carrying
+host/git provenance, the ``REPRO_BENCH_SCALE`` factor, and per-entry
+timing statistics (median/p10/p90 nanoseconds, derived ops/sec and
+Mpps).  ``repro bench compare`` gates regressions between artifacts;
+``repro bench report`` renders the whole trajectory.
+
+See ``docs/BENCH.md`` for the artifact schema and comparison semantics.
+"""
+
+from repro.bench.artifact import (
+    ARTIFACT_GLOB,
+    FIRST_INDEX,
+    KIND,
+    SCHEMA_VERSION,
+    BenchArtifactError,
+    artifact_filename,
+    build_artifact,
+    discover_artifacts,
+    load_artifact,
+    next_index,
+    validate_artifact,
+    write_artifact,
+)
+from repro.bench.compare import (
+    BenchComparison,
+    EntryDelta,
+    compare_artifacts,
+    format_bench_comparison,
+)
+from repro.bench.measure import (
+    EntryMeasurement,
+    measure_entry,
+    measurements_from_lab_run,
+    run_suite,
+)
+from repro.bench.report import format_trajectory, load_trajectory
+from repro.bench.suite import BenchEntry, bench_scale_factor, default_suite
+
+__all__ = [
+    "ARTIFACT_GLOB",
+    "FIRST_INDEX",
+    "KIND",
+    "SCHEMA_VERSION",
+    "BenchArtifactError",
+    "BenchComparison",
+    "BenchEntry",
+    "EntryDelta",
+    "EntryMeasurement",
+    "artifact_filename",
+    "bench_scale_factor",
+    "build_artifact",
+    "compare_artifacts",
+    "default_suite",
+    "discover_artifacts",
+    "format_bench_comparison",
+    "format_trajectory",
+    "load_artifact",
+    "load_trajectory",
+    "measure_entry",
+    "measurements_from_lab_run",
+    "next_index",
+    "run_suite",
+    "validate_artifact",
+    "write_artifact",
+]

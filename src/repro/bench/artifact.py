@@ -1,0 +1,211 @@
+"""Schema-versioned ``BENCH_NNNN.json`` trajectory artifacts.
+
+One artifact = one measured point on the repository's performance
+trajectory, conventionally committed at the repo root as
+``BENCH_0006.json``, ``BENCH_0007.json``, ... (one per PR that claims
+a performance delta).  The four-digit index orders the trajectory;
+``FIRST_INDEX`` is 6 because PRs 1–5 predate the harness and recorded
+no artifacts.
+
+Every artifact carries full provenance (host, python, numpy, git SHA —
+the same record lab manifests use), the ``REPRO_BENCH_SCALE`` factor
+and smoke/full sizing it was measured at, and per-entry samples +
+statistics.  :func:`validate_artifact` is the schema contract both the
+writer and every loader go through, so a malformed artifact fails
+loudly at the boundary instead of mis-comparing silently.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.measure import EntryMeasurement
+from repro.bench.suite import bench_scale_factor
+from repro.lab.store import environment_info
+
+__all__ = [
+    "ARTIFACT_GLOB",
+    "FIRST_INDEX",
+    "KIND",
+    "SCHEMA_VERSION",
+    "BenchArtifactError",
+    "artifact_filename",
+    "build_artifact",
+    "discover_artifacts",
+    "load_artifact",
+    "next_index",
+    "validate_artifact",
+    "write_artifact",
+]
+
+SCHEMA_VERSION = 1
+KIND = "bench-trajectory"
+FIRST_INDEX = 6
+ARTIFACT_GLOB = "BENCH_*.json"
+_ARTIFACT_RE = re.compile(r"^BENCH_(\d{4})\.json$")
+
+#: Stats every entry must carry; compare/report rely on these.
+_REQUIRED_STATS = ("median_ns", "p10_ns", "p90_ns")
+
+
+class BenchArtifactError(ValueError):
+    """A BENCH_*.json failed schema validation."""
+
+
+def artifact_filename(index: int) -> str:
+    """Canonical artifact name for a trajectory index."""
+    if not 0 <= index <= 9999:
+        raise ValueError(f"bench index out of range: {index}")
+    return f"BENCH_{index:04d}.json"
+
+
+def build_artifact(
+    measurements: Sequence[EntryMeasurement],
+    *,
+    index: int,
+    scale: str,
+    seed: int,
+    warmup: int,
+    samples: int,
+    label: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble the JSON-ready artifact dict (validated before return)."""
+    artifact: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": KIND,
+        "index": index,
+        "label": label or f"bench-{index:04d}",
+        # Wall-clock stamp is provenance, exactly like the lab store's.
+        "created_unix": int(time.time()),  # simcheck: ignore[SIM001] provenance only
+        "scale": scale,
+        "bench_scale_factor": bench_scale_factor(),
+        "seed": seed,
+        "warmup": warmup,
+        "samples": samples,
+        "environment": environment_info(),
+        "entries": {m.name: m.to_dict() for m in measurements},
+    }
+    validate_artifact(artifact)
+    return artifact
+
+
+def validate_artifact(data: Any) -> Dict[str, Any]:
+    """Check the artifact schema; returns *data* or raises.
+
+    Raises:
+        BenchArtifactError: naming the first violated constraint.
+    """
+    if not isinstance(data, dict):
+        raise BenchArtifactError(f"artifact must be an object, got {type(data).__name__}")
+
+    def require(condition: bool, reason: str) -> None:
+        if not condition:
+            raise BenchArtifactError(reason)
+
+    require(
+        data.get("kind") == KIND,
+        f"kind must be {KIND!r}, got {data.get('kind')!r}",
+    )
+    require(
+        isinstance(data.get("schema_version"), int)
+        and data["schema_version"] >= 1,
+        f"bad schema_version {data.get('schema_version')!r}",
+    )
+    require(
+        data["schema_version"] <= SCHEMA_VERSION,
+        f"artifact schema_version {data['schema_version']} is newer than "
+        f"this reader ({SCHEMA_VERSION}) — upgrade repro",
+    )
+    require(
+        isinstance(data.get("index"), int) and data["index"] >= 0,
+        f"bad index {data.get('index')!r}",
+    )
+    require(
+        data.get("scale") in ("smoke", "full"),
+        f"scale must be smoke/full, got {data.get('scale')!r}",
+    )
+    require(
+        isinstance(data.get("environment"), dict),
+        "missing environment provenance",
+    )
+    require(
+        isinstance(data.get("bench_scale_factor"), (int, float))
+        and data["bench_scale_factor"] > 0,
+        f"bad bench_scale_factor {data.get('bench_scale_factor')!r}",
+    )
+    entries = data.get("entries")
+    require(isinstance(entries, dict) and entries, "artifact has no entries")
+    for name, entry in entries.items():
+        require(
+            isinstance(entry, dict),
+            f"entry {name!r} must be an object",
+        )
+        samples_ns = entry.get("samples_ns")
+        require(
+            isinstance(samples_ns, list)
+            and samples_ns
+            and all(isinstance(s, int) and s > 0 for s in samples_ns),
+            f"entry {name!r} needs a non-empty list of positive int samples_ns",
+        )
+        stats = entry.get("stats")
+        require(
+            isinstance(stats, dict)
+            and all(
+                isinstance(stats.get(k), (int, float)) and stats[k] > 0
+                for k in _REQUIRED_STATS
+            ),
+            f"entry {name!r} stats must include positive {', '.join(_REQUIRED_STATS)}",
+        )
+    return data
+
+
+def write_artifact(
+    artifact: Dict[str, Any], directory: Union[str, Path]
+) -> Path:
+    """Validate and persist an artifact under its canonical name."""
+    validate_artifact(artifact)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / artifact_filename(artifact["index"])
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate one artifact file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BenchArtifactError(f"{path} is not valid JSON: {exc}") from exc
+    try:
+        return validate_artifact(data)
+    except BenchArtifactError as exc:
+        raise BenchArtifactError(f"{path}: {exc}") from exc
+
+
+def discover_artifacts(
+    directory: Union[str, Path]
+) -> List[Tuple[int, Path]]:
+    """All canonical ``BENCH_NNNN.json`` files, sorted by index."""
+    directory = Path(directory)
+    found: List[Tuple[int, Path]] = []
+    if not directory.is_dir():
+        return found
+    for path in directory.iterdir():
+        match = _ARTIFACT_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def next_index(directory: Union[str, Path]) -> int:
+    """The next free trajectory index (``FIRST_INDEX`` when empty)."""
+    found = discover_artifacts(directory)
+    if not found:
+        return FIRST_INDEX
+    return found[-1][0] + 1

@@ -1,0 +1,236 @@
+"""``repro bench`` subcommands: list, run, compare, report."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.artifact import (
+    BenchArtifactError,
+    build_artifact,
+    discover_artifacts,
+    load_artifact,
+    next_index,
+    write_artifact,
+)
+from repro.bench.compare import compare_artifacts, format_bench_comparison
+from repro.bench.measure import measurements_from_lab_run, run_suite
+from repro.bench.report import format_trajectory, load_trajectory
+from repro.bench.suite import default_suite, suite_by_name
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    suite = default_suite()
+    if args.json:
+        payload = [
+            {
+                "name": e.name,
+                "title": e.title,
+                "kind": e.kind,
+                "experiment": e.experiment,
+                "smoke_params": dict(e.smoke_params),
+                "full_params": dict(e.full_params),
+                "scaled": list(e.scaled),
+            }
+            for e in suite
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{len(suite)} bench entries:")
+    for e in suite:
+        print(f"  {e.name:<22} [{e.kind}] {e.title}")
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    out_dir = Path(args.dir)
+    index = args.index if args.index is not None else next_index(out_dir)
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr)
+    )
+    if args.from_lab:
+        measurements = measurements_from_lab_run(args.from_lab)
+        if not measurements:
+            print(
+                f"bench run: no usable durations in lab run {args.from_lab}",
+                file=sys.stderr,
+            )
+            return 2
+        warmup, samples = 0, 1
+    else:
+        try:
+            entries = suite_by_name(args.names or None)
+        except KeyError as exc:
+            print(f"bench run: {exc.args[0]}", file=sys.stderr)
+            return 2
+        measurements = run_suite(
+            entries,
+            scale=args.scale,
+            warmup=args.warmup,
+            samples=args.samples,
+            seed=args.seed,
+            progress=progress,
+        )
+        warmup, samples = args.warmup, args.samples
+    artifact = build_artifact(
+        measurements,
+        index=index,
+        scale=args.scale,
+        seed=args.seed,
+        warmup=warmup,
+        samples=samples,
+        label=args.label,
+    )
+    path = write_artifact(artifact, out_dir)
+    if args.json:
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+    else:
+        for m in measurements:
+            median_ms = m.stats["median_ns"] / 1e6
+            print(f"{m.name:<24} median {median_ms:10.2f} ms "
+                  f"({len(m.samples_ns)} sample(s))")
+    print(f"wrote {path}")
+    return 0
+
+
+def _pick_pair(args: argparse.Namespace):
+    """Resolve (current, baseline) artifact paths for ``compare``."""
+    if args.current and args.baseline:
+        return Path(args.current), Path(args.baseline)
+    found = discover_artifacts(args.dir)
+    if args.current:
+        return (Path(args.current), found[-1][1]) if found else (None, None)
+    if args.baseline:
+        return (found[-1][1], Path(args.baseline)) if found else (None, None)
+    if len(found) < 2:
+        return None, None
+    return found[-1][1], found[-2][1]
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    current_path, baseline_path = _pick_pair(args)
+    if current_path is None:
+        print(
+            f"bench compare: need two artifacts — found "
+            f"{len(discover_artifacts(args.dir))} under {args.dir!s} "
+            "(use --current/--baseline to name them explicitly)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        current = load_artifact(current_path)
+        baseline = load_artifact(baseline_path)
+    except (OSError, BenchArtifactError) as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    report = compare_artifacts(current, baseline, threshold=args.threshold)
+    if args.json:
+        payload = {
+            "ok": report.ok,
+            "threshold": report.threshold,
+            "scale_mismatch": report.scale_mismatch,
+            "host_mismatch": report.host_mismatch,
+            "entries": [
+                {
+                    "name": e.name,
+                    "status": e.status,
+                    "current_ns": e.current_ns,
+                    "baseline_ns": e.baseline_ns,
+                    "ratio": e.ratio,
+                    "pct_change": e.pct_change,
+                    "rate_deltas": e.rate_deltas,
+                }
+                for e in report.entries
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_bench_comparison(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    try:
+        trajectory = load_trajectory(args.dir)
+    except BenchArtifactError as exc:
+        print(f"bench report: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(
+            [artifact for _, artifact in trajectory], indent=2, sort_keys=True
+        ))
+        return 0
+    print(format_trajectory(trajectory))
+    return 0
+
+
+def add_bench_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``bench`` subcommand tree to the main CLI."""
+    p = sub.add_parser(
+        "bench",
+        help="persisted perf trajectory (run/compare/report BENCH_*.json)",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    q = bench_sub.add_parser("list", help="list suite entries")
+    q.add_argument("--json", action="store_true")
+    q.set_defaults(func=_cmd_bench_list)
+
+    q = bench_sub.add_parser(
+        "run", help="measure the suite; write BENCH_NNNN.json"
+    )
+    q.add_argument("names", nargs="*", help="entry names (default: all)")
+    q.add_argument(
+        "--scale", choices=("smoke", "full"), default="smoke",
+        help="parameter sizing (REPRO_BENCH_SCALE multiplies further)",
+    )
+    q.add_argument("--warmup", type=int, default=1, help="untimed passes")
+    q.add_argument("--samples", type=int, default=3, help="timed passes")
+    q.add_argument("--seed", type=int, default=0, help="base seed")
+    q.add_argument(
+        "--dir", default=".",
+        help="artifact directory (default: current dir, i.e. the repo root)",
+    )
+    q.add_argument(
+        "--index", type=int, default=None,
+        help="trajectory index (default: next free, starting at 6)",
+    )
+    q.add_argument("--label", default=None, help="artifact label")
+    q.add_argument(
+        "--from-lab", default=None, metavar="RUN_DIR",
+        help="build the artifact from a lab run's duration_ns instead "
+             "of re-measuring",
+    )
+    q.add_argument("--quiet", action="store_true", help="suppress progress")
+    q.add_argument("--json", action="store_true", help="print the artifact")
+    q.set_defaults(func=_cmd_bench_run)
+
+    q = bench_sub.add_parser(
+        "compare", help="gate the newest artifact against the previous one"
+    )
+    q.add_argument(
+        "--dir", default=".",
+        help="artifact directory (default: current dir)",
+    )
+    q.add_argument("--current", default=None, help="explicit current artifact")
+    q.add_argument(
+        "--baseline", default=None, help="explicit baseline artifact"
+    )
+    q.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="allowed fractional median-duration growth (default 0.30)",
+    )
+    q.add_argument("--json", action="store_true")
+    q.set_defaults(func=_cmd_bench_compare)
+
+    q = bench_sub.add_parser(
+        "report", help="render the whole trajectory"
+    )
+    q.add_argument(
+        "--dir", default=".",
+        help="artifact directory (default: current dir)",
+    )
+    q.add_argument("--json", action="store_true")
+    q.set_defaults(func=_cmd_bench_report)

@@ -1,0 +1,180 @@
+"""Regression gating between two trajectory artifacts.
+
+The gate is intentionally simple and timing-only: an entry *regresses*
+when its median wall-clock sample grew by more than ``threshold``
+(default 30%) relative to the baseline's median.  Model metrics
+(throughput, speedups) never gate — the lab/golden layers own result
+correctness — but their deltas are reported for context.
+
+Cross-host caution: timings are only strictly comparable on the same
+machine class.  When the two artifacts carry different hostnames the
+comparison still runs (the trajectory spans PRs, not hosts) but the
+report flags it, and CI should gate same-host pairs only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "BenchComparison",
+    "EntryDelta",
+    "compare_artifacts",
+    "format_bench_comparison",
+]
+
+
+@dataclass
+class EntryDelta:
+    """One entry's current-vs-baseline verdict."""
+
+    name: str
+    status: str  # "ok" | "regress" | "improved" | "new" | "missing"
+    current_ns: Optional[float] = None
+    baseline_ns: Optional[float] = None
+    ratio: Optional[float] = None       # current / baseline (medians)
+    rate_deltas: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def pct_change(self) -> Optional[float]:
+        """Median duration change in percent (+ = slower)."""
+        if self.ratio is None:
+            return None
+        return (self.ratio - 1.0) * 100.0
+
+
+@dataclass
+class BenchComparison:
+    """All per-entry verdicts for one artifact pair."""
+
+    current_label: str
+    baseline_label: str
+    threshold: float
+    scale_mismatch: bool = False
+    host_mismatch: bool = False
+    entries: List[EntryDelta] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions()
+
+    def regressions(self) -> List[EntryDelta]:
+        return [e for e in self.entries if e.status == "regress"]
+
+
+def _label(artifact: Mapping[str, Any]) -> str:
+    return (
+        f"{artifact.get('label', '?')} "
+        f"(index {artifact.get('index', '?')}, {artifact.get('scale', '?')})"
+    )
+
+
+def compare_artifacts(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    threshold: float = 0.30,
+) -> BenchComparison:
+    """Diff two loaded artifacts; gate on median-duration growth.
+
+    Args:
+        current: the newer artifact (the one under test).
+        baseline: the artifact to gate against.
+        threshold: allowed fractional growth of each entry's median
+            duration (0.30 = fail past +30%).
+
+    Entries present on only one side report as ``new``/``missing``
+    (informational).  A scale mismatch (smoke vs full) downgrades every
+    timing verdict to informational — durations at different sizings
+    are not comparable — and the comparison passes trivially.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    current_entries = current.get("entries", {})
+    baseline_entries = baseline.get("entries", {})
+    scale_mismatch = current.get("scale") != baseline.get("scale") or (
+        current.get("bench_scale_factor") != baseline.get("bench_scale_factor")
+    )
+    host_mismatch = (
+        current.get("environment", {}).get("hostname")
+        != baseline.get("environment", {}).get("hostname")
+    )
+    report = BenchComparison(
+        current_label=_label(current),
+        baseline_label=_label(baseline),
+        threshold=threshold,
+        scale_mismatch=scale_mismatch,
+        host_mismatch=host_mismatch,
+    )
+    for name in sorted(set(current_entries) | set(baseline_entries)):
+        if name not in baseline_entries:
+            report.entries.append(EntryDelta(name=name, status="new"))
+            continue
+        if name not in current_entries:
+            report.entries.append(EntryDelta(name=name, status="missing"))
+            continue
+        cur = current_entries[name]
+        base = baseline_entries[name]
+        cur_ns = float(cur["stats"]["median_ns"])
+        base_ns = float(base["stats"]["median_ns"])
+        ratio = cur_ns / base_ns
+        rate_deltas: Dict[str, float] = {}
+        for key, cur_rate in (cur.get("rates") or {}).items():
+            base_rate = (base.get("rates") or {}).get(key)
+            if base_rate:
+                rate_deltas[key] = (float(cur_rate) / float(base_rate) - 1.0) * 100.0
+        if scale_mismatch:
+            status = "ok"
+        elif ratio > 1.0 + threshold:
+            status = "regress"
+        elif ratio < 1.0 - threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        report.entries.append(
+            EntryDelta(
+                name=name,
+                status=status,
+                current_ns=cur_ns,
+                baseline_ns=base_ns,
+                ratio=ratio,
+                rate_deltas=rate_deltas,
+            )
+        )
+    return report
+
+
+def _fmt_ms(ns: Optional[float]) -> str:
+    return "-" if ns is None else f"{ns / 1e6:10.2f}"
+
+
+def format_bench_comparison(report: BenchComparison) -> str:
+    """Render the pass/regress table for the CLI."""
+    out = [
+        f"bench compare — {report.current_label} vs {report.baseline_label} "
+        f"(threshold +{report.threshold * 100:.0f}%)"
+    ]
+    if report.scale_mismatch:
+        out.append(
+            "NOTE: scale/REPRO_BENCH_SCALE mismatch — timings are not "
+            "comparable; verdicts are informational only"
+        )
+    if report.host_mismatch:
+        out.append(
+            "NOTE: artifacts were recorded on different hosts — treat "
+            "deltas as indicative, not exact"
+        )
+    out.append(
+        "entry                  | status   | current ms | baseline ms |  Δ median"
+    )
+    for e in report.entries:
+        delta = "-" if e.pct_change is None else f"{e.pct_change:+8.1f}%"
+        out.append(
+            f"{e.name:<22} | {e.status:<8} | {_fmt_ms(e.current_ns)} "
+            f"| {_fmt_ms(e.baseline_ns)}  | {delta}"
+        )
+        for key, pct in sorted(e.rate_deltas.items()):
+            out.append(f"    {key}: {pct:+.1f}%")
+    out.append("RESULT: " + ("PASS" if report.ok else "REGRESS"))
+    return "\n".join(out)

@@ -1,0 +1,88 @@
+"""Rendering the full performance trajectory across artifacts.
+
+``repro bench report`` loads every ``BENCH_NNNN.json`` in a directory
+(conventionally the repo root, one artifact per perf-claiming PR) and
+prints, per suite entry, how its median duration and derived rates
+moved from artifact to artifact — the repository's persisted answer to
+"did that optimisation actually stick?".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.bench.artifact import discover_artifacts, load_artifact
+
+__all__ = ["format_trajectory", "load_trajectory"]
+
+
+def load_trajectory(
+    directory: Union[str, Path]
+) -> List[Tuple[int, Dict[str, Any]]]:
+    """All artifacts in *directory*, index-sorted and validated."""
+    return [
+        (index, load_artifact(path))
+        for index, path in discover_artifacts(directory)
+    ]
+
+
+def _entry_names(trajectory: List[Tuple[int, Dict[str, Any]]]) -> List[str]:
+    names: List[str] = []
+    for _, artifact in trajectory:
+        for name in artifact["entries"]:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def format_trajectory(
+    trajectory: List[Tuple[int, Dict[str, Any]]]
+) -> str:
+    """Render the per-entry trajectory tables."""
+    if not trajectory:
+        return "bench report: no BENCH_*.json artifacts found"
+    out = [f"bench trajectory — {len(trajectory)} artifact(s)"]
+    for index, artifact in trajectory:
+        env = artifact.get("environment", {})
+        out.append(
+            f"  {index:04d}  {artifact.get('label')}  "
+            f"scale={artifact.get('scale')}"
+            f"×{artifact.get('bench_scale_factor')}  "
+            f"git={str(env.get('git_sha'))[:12]}  "
+            f"host={env.get('hostname')}"
+        )
+    for name in _entry_names(trajectory):
+        out.append("")
+        out.append(f"{name}")
+        out.append(
+            "  index |  median ms |  p10 ms |  p90 ms |      rate | Δ median"
+        )
+        previous_ns = None
+        for index, artifact in trajectory:
+            entry = artifact["entries"].get(name)
+            if entry is None:
+                out.append(f"  {index:04d}  |          - |       - |       - |         - |        -")
+                previous_ns = None
+                continue
+            stats = entry["stats"]
+            median_ns = float(stats["median_ns"])
+            rates = entry.get("rates") or {}
+            if "mpps" in rates:
+                rate = f"{rates['mpps']:7.3f} Mpps"
+            elif "ops_per_sec" in rates:
+                rate = f"{rates['ops_per_sec'] / 1e6:7.3f} Mop/s"
+            else:
+                rate = "-"
+            if previous_ns:
+                delta = f"{(median_ns / previous_ns - 1.0) * 100:+7.1f}%"
+            else:
+                delta = "-"
+            out.append(
+                f"  {index:04d}  | {median_ns / 1e6:10.2f} "
+                f"| {float(stats['p10_ns']) / 1e6:7.2f} "
+                f"| {float(stats['p90_ns']) / 1e6:7.2f} "
+                f"| {rate:>9} | {delta:>8}"
+            )
+            previous_ns = median_ns
+    return "\n".join(out)

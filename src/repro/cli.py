@@ -557,6 +557,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lab_parser(sub)
 
+    from repro.bench.cli import add_bench_parser
+
+    add_bench_parser(sub)
+
     return parser
 
 

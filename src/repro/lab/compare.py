@@ -190,6 +190,14 @@ _GOLDEN_ADAPTERS = {
             "normal_write_cycles",
         ),
     ),
+    "fig07_ops_sweep.json": (
+        "fig07",
+        ("sizes", "normal_mops", "slice_mops"),
+    ),
+    "table3_throughput.json": (
+        "table3",
+        ("rows",),
+    ),
     "table4_preferable_slices.json": (
         "table4",
         ("machine", "preferable"),

@@ -71,6 +71,11 @@ class TaskOutcome:
     duration_s: float
     error: Optional[str] = None
     result: Any = None
+    #: Monotonic nanosecond duration of the successful attempt.  The
+    #: float ``duration_s`` mirror exists for display; sub-millisecond
+    #: work (engine microbenches) must use this field — the store's
+    #: rounded seconds lose all precision there.
+    duration_ns: int = 0
 
 
 @dataclass
@@ -88,6 +93,7 @@ class ExperimentOutcome:
     error: Optional[str] = None
     result: Any = None          # merged result object (in-process use)
     payload: Any = None         # JSON-ready serialized result
+    duration_ns: int = 0        # summed ns-resolution task durations
 
 
 @dataclass
@@ -118,7 +124,7 @@ def _execute_task(
     params: Mapping[str, Any],
     seed: Optional[int],
     timeout_s: Optional[float],
-) -> Tuple[Any, float]:
+) -> Tuple[Any, int]:
     """Run one task to completion; worker-side (and inline) entry point.
 
     Resolves the experiment from the process-local default registry —
@@ -137,7 +143,7 @@ def _execute_task(
         and hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
-    start = time.perf_counter()  # simcheck: ignore[SIM001] wall-clock duration is provenance, not a result
+    start = time.perf_counter_ns()  # simcheck: ignore[SIM001] wall-clock duration is provenance, not a result
     if use_alarm:
         def _on_alarm(signum, frame):
             raise TaskTimeout(
@@ -152,7 +158,7 @@ def _execute_task(
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
-    return result, time.perf_counter() - start  # simcheck: ignore[SIM001] provenance only
+    return result, time.perf_counter_ns() - start  # simcheck: ignore[SIM001] provenance only
 
 
 def _describe_error(exc: BaseException) -> str:
@@ -181,13 +187,18 @@ def _run_tasks_inline(
         attempts = 0
         while True:
             attempts += 1
-            start = time.perf_counter()  # simcheck: ignore[SIM001] provenance only
+            start = time.perf_counter_ns()  # simcheck: ignore[SIM001] provenance only
             try:
-                result, duration = _execute_task(
+                result, duration_ns = _execute_task(
                     task.experiment, task.index, task.params, task.seed, timeout_s
                 )
                 outcomes[task.key] = TaskOutcome(
-                    task, "ok", attempts, duration, result=result
+                    task,
+                    "ok",
+                    attempts,
+                    duration_ns / 1e9,
+                    result=result,
+                    duration_ns=duration_ns,
                 )
                 break
             except Exception as exc:  # noqa: BLE001 - report, don't crash
@@ -196,12 +207,14 @@ def _run_tasks_inline(
                 # retry would only mask.  Fail immediately.
                 if not isinstance(exc, InjectedFault) and attempts <= retries:
                     continue
+                failed_ns = time.perf_counter_ns() - start  # simcheck: ignore[SIM001] provenance only
                 outcomes[task.key] = TaskOutcome(
                     task,
                     "failed",
                     attempts,
-                    time.perf_counter() - start,  # simcheck: ignore[SIM001] provenance only
+                    failed_ns / 1e9,
                     error=_describe_error(exc),
+                    duration_ns=failed_ns,
                 )
                 break
         note(task, outcomes[task.key])
@@ -238,7 +251,7 @@ def _run_tasks_pooled(
             task = futures[future]
             attempts[task.key] += 1
             try:
-                result, duration = future.result()
+                result, duration_ns = future.result()
             except Exception as exc:  # noqa: BLE001 - includes BrokenProcessPool
                 error = _describe_error(exc)
                 # Escaped injected faults are fatal (see inline runner).
@@ -255,7 +268,12 @@ def _run_tasks_pooled(
                     note(task, outcomes[task.key])
                 continue
             outcomes[task.key] = TaskOutcome(
-                task, "ok", attempts[task.key], duration, result=result
+                task,
+                "ok",
+                attempts[task.key],
+                duration_ns / 1e9,
+                result=result,
+                duration_ns=duration_ns,
             )
             note(task, outcomes[task.key])
         executor.shutdown(wait=True)
@@ -354,7 +372,7 @@ def run_matrix(
         spec_tasks = [t for t in tasks if t.experiment == spec.name]
         spec_outcomes = [outcomes[t.key] for t in spec_tasks]
         total_attempts = sum(o.attempts for o in spec_outcomes)
-        total_duration = sum(o.duration_s for o in spec_outcomes)
+        total_duration_ns = sum(o.duration_ns for o in spec_outcomes)
         failures = [o for o in spec_outcomes if o.status != "ok"]
         outcome = ExperimentOutcome(
             name=spec.name,
@@ -364,7 +382,8 @@ def run_matrix(
             seed=spec.seed_for(seed) if spec.seeded else None,
             tasks=len(spec_tasks),
             attempts=total_attempts,
-            duration_s=total_duration,
+            duration_s=total_duration_ns / 1e9,
+            duration_ns=total_duration_ns,
         )
         if failures:
             outcome.error = "; ".join(

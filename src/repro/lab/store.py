@@ -92,7 +92,13 @@ class RunStore:
                 "status": outcome.status,
                 "tasks": outcome.tasks,
                 "attempts": outcome.attempts,
+                # duration_s is a rounded display value; duration_ns is
+                # the exact monotonic measurement (microbench entries
+                # finish in well under a millisecond, so rounding to
+                # 3 decimals would erase them entirely).  The bench
+                # trajectory layer (repro.bench) consumes duration_ns.
                 "duration_s": round(outcome.duration_s, 3),
+                "duration_ns": int(outcome.duration_ns),
                 "artifact": None,
             }
             if outcome.status == "ok":
@@ -107,6 +113,7 @@ class RunStore:
                     "tasks": outcome.tasks,
                     "attempts": outcome.attempts,
                     "duration_s": round(outcome.duration_s, 3),
+                    "duration_ns": int(outcome.duration_ns),
                     "result": outcome.payload,
                 }
                 path = self.artifact_path(name)

@@ -19,11 +19,28 @@ from repro.cachesim.machines import SKYLAKE_GOLD_6134
 from repro.core.profiles import derive_preference_table
 from repro.experiments.fig05_access_time import run_fig05
 from repro.experiments.fig06_speedup import run_fig06
+from repro.experiments.fig07_ops_sweep import fig07_to_dict, run_fig07
+from repro.experiments.tables import run_table3, table3_to_dict
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
 FIG05_PARAMS = {"core": 0, "runs": 3, "seed": 0}
 FIG06_PARAMS = {"core": 0, "n_ops": 2000, "seed": 0}
+# Matches the lab registry's reduced fig07/table3 parameters (plus the
+# base seed 0 a lab run derives), so `repro lab compare <run>
+# tests/golden` checks these numbers on every smoke matrix.
+FIG07_PARAMS = {
+    "n_ops": 200,
+    "sizes": [128 * 1024, 512 * 1024, 2 << 20],
+    "engine": "fast",
+    "seed": 0,
+}
+TABLE3_PARAMS = {
+    "n_bulk_packets": 20_000,
+    "micro_packets": 500,
+    "runs": 1,
+    "seed": 0,
+}
 
 
 def regenerate() -> None:
@@ -53,6 +70,20 @@ def regenerate() -> None:
         json.dumps(fig06, indent=2) + "\n"
     )
 
+    sweep = fig07_to_dict(run_fig07(**FIG07_PARAMS))
+    fig07 = {"params": FIG07_PARAMS, "rel_tol": 1e-6}
+    fig07.update(sweep)
+    (GOLDEN_DIR / "fig07_ops_sweep.json").write_text(
+        json.dumps(fig07, indent=2) + "\n"
+    )
+
+    rows = table3_to_dict(run_table3(**TABLE3_PARAMS))
+    table3 = {"params": TABLE3_PARAMS, "rel_tol": 1e-6}
+    table3.update(rows)
+    (GOLDEN_DIR / "table3_throughput.json").write_text(
+        json.dumps(table3, indent=2) + "\n"
+    )
+
     table = derive_preference_table(SKYLAKE_GOLD_6134.interconnect_factory())
     table4 = {
         "machine": SKYLAKE_GOLD_6134.name,
@@ -64,7 +95,7 @@ def regenerate() -> None:
     (GOLDEN_DIR / "table4_preferable_slices.json").write_text(
         json.dumps(table4, indent=2) + "\n"
     )
-    print(f"wrote 3 golden files to {GOLDEN_DIR}")
+    print(f"wrote 5 golden files to {GOLDEN_DIR}")
 
 
 if __name__ == "__main__":

@@ -147,6 +147,7 @@ class TestLabIntegration:
         },
     }
 
+    @pytest.mark.slow
     def test_parallel_split_bit_identical(self):
         """--jobs 2 fan-out + reassembly equals the monolithic runners."""
         names = list(self.TINY_LAB)

@@ -18,6 +18,8 @@ from repro.cachesim.machines import SKYLAKE_GOLD_6134
 from repro.core.profiles import derive_preference_table
 from repro.experiments.fig05_access_time import run_fig05
 from repro.experiments.fig06_speedup import run_fig06
+from repro.experiments.fig07_ops_sweep import fig07_to_dict, run_fig07
+from repro.experiments.tables import run_table3, table3_to_dict
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
@@ -88,6 +90,69 @@ class TestFig06Speedup:
         best slice-local placement beats the worst by a wide margin."""
         assert max(result.read_speedup_pct) > 0
         assert max(result.read_speedup_pct) - min(result.read_speedup_pct) > 10
+
+
+class TestFig07OpsSweep:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load("fig07_ops_sweep.json")
+
+    @pytest.fixture(scope="class")
+    def payload(self, golden):
+        return fig07_to_dict(run_fig07(**golden["params"]))
+
+    def test_sizes_pinned(self, golden, payload):
+        assert payload["sizes"] == golden["sizes"]
+
+    def test_mops_series(self, golden, payload):
+        rel = golden["rel_tol"]
+        for placement in ("normal_mops", "slice_mops"):
+            for op in ("read", "write"):
+                got_series = payload[placement][op]
+                want_series = golden[placement][op]
+                assert len(got_series) == len(want_series)
+                for got, want in zip(got_series, want_series):
+                    assert math.isclose(got, want, rel_tol=rel), (
+                        placement, op, got, want,
+                    )
+
+    def test_slice_aware_wins_between_l2_and_slice(self, payload):
+        """Fig. 7's qualitative shape survives regeneration: at sizes
+        between L2 (256 kB) and one slice (2.5 MB), slice-aware
+        placement beats normal allocation."""
+        sizes = payload["sizes"]
+        for i, size in enumerate(sizes):
+            if 256 * 1024 < size <= 2 << 20:
+                assert payload["slice_mops"]["read"][i] > (
+                    payload["normal_mops"]["read"][i]
+                )
+
+
+class TestTable3Throughput:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load("table3_throughput.json")
+
+    @pytest.fixture(scope="class")
+    def payload(self, golden):
+        return table3_to_dict(run_table3(**golden["params"]))
+
+    def test_rows_pinned(self, golden, payload):
+        rel = golden["rel_tol"]
+        assert len(payload["rows"]) == len(golden["rows"])
+        for got, want in zip(payload["rows"], golden["rows"]):
+            assert got["scenario"] == want["scenario"]
+            assert math.isclose(
+                got["throughput_gbps"], want["throughput_gbps"], rel_tol=rel
+            )
+            assert math.isclose(
+                got["improvement_mbps"], want["improvement_mbps"], rel_tol=rel
+            )
+
+    def test_cachedirector_improves_both_scenarios(self, payload):
+        """Table 3's headline: +CD adds throughput in both chains."""
+        for row in payload["rows"]:
+            assert row["improvement_mbps"] > 0
 
 
 class TestTable4PreferableSlices:

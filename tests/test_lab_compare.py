@@ -131,14 +131,19 @@ class TestGoldenBaseline:
     def test_adapter_loads_known_files(self):
         baseline = load_baseline(GOLDEN_DIR)
         assert baseline["manifest"]["kind"] == "golden-baseline"
-        assert set(baseline["experiments"]) == {"fig05", "fig06", "table4"}
+        assert set(baseline["experiments"]) == {
+            "fig05", "fig06", "fig07", "table3", "table4",
+        }
         fig06 = baseline["experiments"]["fig06"]
         assert fig06["tolerances"]["read_speedup_pct"] == {"abs": 0.5}
         assert "read_cycles" in baseline["experiments"]["fig05"]["result"]
 
+    @pytest.mark.slow
     def test_lab_run_matches_golden(self, tmp_path):
         """The end-to-end acceptance path: run → store → compare → PASS."""
-        report = run_matrix(["fig05", "fig06", "table4"], jobs=1, seed=0)
+        report = run_matrix(
+            ["fig05", "fig06", "fig07", "table3", "table4"], jobs=1, seed=0
+        )
         RunStore(tmp_path / "run").write_report(report)
         from repro.lab import load_run
 

@@ -117,6 +117,7 @@ class TestDeriveSeed:
         assert derive_seed(7, "fig15", 3) == derive_seed(7, "fig15", 3)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(default_registry().names()))
 def test_serializer_round_trips(name):
     """Each experiment's payload must survive a JSON round-trip."""

@@ -92,6 +92,7 @@ class TestParallelIdentity:
         "fig15": {"n_bulk_packets": 3000, "micro_packets": 150},
     }
 
+    @pytest.mark.slow
     def test_split_sweeps_bit_identical(self):
         serial = run_matrix(self.NAMES, jobs=1, seed=0, params_override=self.TINY)
         parallel = run_matrix(self.NAMES, jobs=2, seed=0, params_override=self.TINY)
@@ -298,6 +299,7 @@ class TestWorkerCrash:
 
 
 class TestParallelOverlap:
+    @pytest.mark.slow
     def test_pool_overlaps_independent_tasks(self, inject):
         """Four sleep-bound tasks overlap under --jobs 4.
 

@@ -49,6 +49,19 @@ class TestWriteReport:
         table4 = json.loads((tmp_path / "run" / "table4.json").read_text())
         assert table4["seed"] is None
 
+    def test_duration_ns_survives_display_rounding(self, tmp_path, small_report):
+        """Sub-millisecond experiments keep their exact monotonic
+        duration in duration_ns even when duration_s rounds to 0.000."""
+        RunStore(tmp_path / "run").write_report(small_report)
+        manifest = json.loads((tmp_path / "run" / MANIFEST_NAME).read_text())
+        for name in ("fig05", "table1", "table4"):
+            entry = manifest["experiments"][name]
+            assert isinstance(entry["duration_ns"], int)
+            assert entry["duration_ns"] > 0
+            assert entry["duration_s"] == round(entry["duration_ns"] / 1e9, 3)
+            artifact = json.loads((tmp_path / "run" / f"{name}.json").read_text())
+            assert artifact["duration_ns"] == entry["duration_ns"]
+
     def test_load_run_round_trip(self, tmp_path, small_report):
         RunStore(tmp_path / "run").write_report(small_report)
         loaded = load_run(tmp_path / "run")

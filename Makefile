@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast diff-test bench bench-full bench-trajectory quick examples figures lab lab-compare check lint sanitize-lab chaos-smoke clean
+.PHONY: install test test-fast diff-test bench bench-full bench-trajectory quick examples figures lab lab-compare check lint sanitize-lab chaos-smoke fleet-smoke clean
 
 LAB_DIR ?= lab-runs/latest
 LAB_JOBS ?= 4
@@ -88,6 +88,13 @@ chaos-smoke:
 	RF_SANITIZE=1 $(PY) -m repro lab run chaos-tail degradation-knee --jobs $(LAB_JOBS) --scale reduced --out $(CHAOS_DIR)
 	$(PY) -m repro chaos replay $(CHAOS_DIR)/chaos-tail.json
 	$(PY) -m repro chaos replay $(CHAOS_DIR)/degradation-knee.json
+
+FLEET_DIR ?= lab-runs/fleet
+
+fleet-smoke:
+	RF_SANITIZE=1 $(PY) -m repro lab run fleet-scale fleet-failover --jobs $(LAB_JOBS) --scale reduced --out $(FLEET_DIR)
+	$(PY) -m repro fleet replay $(FLEET_DIR)/fleet-failover.json
+	$(PY) -m repro lab compare $(FLEET_DIR) tests/golden
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

@@ -142,6 +142,17 @@ def _micro_dma_work(params: Mapping[str, Any]) -> Dict[str, float]:
     return {"packets": float(params["n_spans"])}
 
 
+def _ring_work(params: Mapping[str, Any]) -> Dict[str, float]:
+    # Every lookup batch routes n_lookups pairs; one membership change
+    # halfway re-routes the same batch against the rebuilt table.
+    return {"ops": float(params["n_lookups"] * 2)}
+
+
+def _fleet_scale_work(params: Mapping[str, Any]) -> Dict[str, float]:
+    cells = len(params["server_counts"]) * len(params["tenant_counts"])
+    return {"ops": float(params["requests"] * cells)}
+
+
 # ----------------------------------------------------------------------
 # Payload metric extractors (model numbers recorded for context)
 # ----------------------------------------------------------------------
@@ -163,6 +174,16 @@ def _nfv_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
 
 def _fig08_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
     return {"peak_tps_millions": max(payload["tps_millions"].values())}
+
+
+def _fleet_scale_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    cells = payload["cells"]
+    return {
+        "peak_goodput_mrps": max(c["goodput_mrps"] for c in cells),
+        "worst_p99_us": max(
+            c["latency_us"]["percentiles"]["p99"] for c in cells
+        ),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +242,33 @@ def _micro_batch_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
 
 def _micro_dma_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
     return {"dma_read_hit_lines": float(payload["dma_read_hits"])}
+
+
+def _run_ring_routing(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Time bulk consistent-hash routing plus one failover re-route."""
+    import numpy as np
+
+    from repro.fleet.ring import build_ring, key_positions
+
+    n_servers = int(params["n_servers"])
+    n_lookups = int(params["n_lookups"])
+    ring = build_ring([f"server-{i}" for i in range(n_servers)])
+    rng = np.random.default_rng(seed)
+    tenants = rng.integers(0, 16, size=n_lookups)
+    keys = rng.integers(0, 1 << 24, size=n_lookups)
+    positions = key_positions(tenants, keys)
+    before = ring.route_positions(positions)
+    ring.remove_node("server-0")
+    after = ring.route_positions(positions)
+    moved = int((before != after).sum())
+    return {
+        "owner_checksum": int(before.sum() + after.sum()),
+        "moved_on_failover": moved,
+    }
+
+
+def _ring_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    return {"moved_on_failover": float(payload["moved_on_failover"])}
 
 
 # ----------------------------------------------------------------------
@@ -341,6 +389,45 @@ def default_suite() -> List[BenchEntry]:
             scaled=("n_spans",),
             work=_micro_dma_work,
             metrics=_micro_dma_metrics,
+        ),
+        BenchEntry(
+            name="fleet-ring-routing",
+            title="Consistent-hash bulk routing + one failover re-route",
+            kind="micro",
+            runner=_run_ring_routing,
+            smoke_params={"n_servers": 8, "n_lookups": 100_000},
+            full_params={"n_servers": 16, "n_lookups": 1_000_000},
+            scaled=("n_lookups",),
+            work=_ring_work,
+            metrics=_ring_metrics,
+        ),
+        BenchEntry(
+            name="fleet-scale",
+            title="Fleet serving grid (servers × tenants, Zipf traffic)",
+            kind="experiment",
+            experiment="fleet-scale",
+            smoke_params={
+                "server_counts": [2],
+                "tenant_counts": [2],
+                "requests": 1_500,
+                "warmup": 300,
+                "epoch_requests": 300,
+                "n_keys": 1 << 10,
+                "offered_mrps": 16.0,
+                "engine": "fast",
+            },
+            full_params={
+                "server_counts": [2, 4],
+                "tenant_counts": [2, 4],
+                "requests": 12_000,
+                "warmup": 2_000,
+                "epoch_requests": 1_000,
+                "offered_mrps": 16.0,
+                "engine": "fast",
+            },
+            scaled=("requests",),
+            work=_fleet_scale_work,
+            metrics=_fleet_scale_metrics,
         ),
     ]
 

@@ -395,6 +395,101 @@ def _cmd_chaos_replay(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "scale":
+        from repro.experiments.fleet import (
+            fleet_scale_to_dict,
+            format_fleet_scale,
+            run_fleet_scale,
+        )
+
+        result = run_fleet_scale(
+            server_counts=args.servers or None,
+            tenant_counts=args.tenants or None,
+            requests=args.requests,
+            warmup=args.warmup,
+            n_keys=args.keys,
+            offered_mrps=args.offered,
+            epoch_requests=args.epoch,
+            seed=args.seed,
+        )
+        if args.json:
+            return _emit_json(fleet_scale_to_dict(result))
+        print(format_fleet_scale(result))
+        return 0
+    if args.fleet_command == "failover":
+        from repro.experiments.fleet import (
+            fleet_failover_to_dict,
+            format_fleet_failover,
+            run_fleet_failover,
+        )
+
+        result = run_fleet_failover(
+            intensities=args.intensities or None,
+            n_servers=args.servers,
+            n_tenants=args.tenants,
+            requests=args.requests,
+            warmup=args.warmup,
+            n_keys=args.keys,
+            offered_mrps=args.offered,
+            epoch_requests=args.epoch,
+            seed=args.seed,
+        )
+        if args.json:
+            return _emit_json(fleet_failover_to_dict(result))
+        print(format_fleet_failover(result))
+        return 0
+    return _cmd_fleet_replay(args)
+
+
+def _cmd_fleet_replay(args: argparse.Namespace) -> int:
+    """Re-run a persisted fleet-failover artifact from its own plans.
+
+    Same contract as ``repro chaos replay``: the artifact's persisted
+    fault plans are fed back (``plans`` override) at the artifact's
+    parameters and seed, and the reproduced payload must be
+    bit-identical.
+    """
+    from pathlib import Path
+
+    from repro.experiments.fleet import (
+        fleet_failover_to_dict,
+        run_fleet_failover,
+    )
+
+    artifact = json.loads(Path(args.artifact).read_text())
+    name = artifact.get("name")
+    if name != "fleet-failover":
+        print(
+            f"fleet replay: {args.artifact} is a {name!r} artifact, "
+            "not fleet-failover",
+            file=sys.stderr,
+        )
+        return 2
+    persisted = artifact["result"]
+    kwargs = dict(artifact.get("params") or {})
+    if artifact.get("seed") is not None:
+        kwargs.setdefault("seed", artifact["seed"])
+    kwargs["plans"] = persisted["plans"]
+    replayed = fleet_failover_to_dict(run_fleet_failover(**kwargs))
+    original = json.dumps(persisted, sort_keys=True)
+    reproduced = json.dumps(replayed, sort_keys=True)
+    if original == reproduced:
+        print(f"replay of {name} from {args.artifact}: bit-identical")
+        return 0
+    print(
+        f"replay of {name} from {args.artifact}: MISMATCH "
+        f"({len(original)} vs {len(reproduced)} canonical bytes)",
+        file=sys.stderr,
+    )
+    for key in sorted(set(persisted) | set(replayed)):
+        a = json.dumps(persisted.get(key), sort_keys=True)
+        b = json.dumps(replayed.get(key), sort_keys=True)
+        if a != b:
+            print(f"  differs at top-level key {key!r}", file=sys.stderr)
+    return 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -534,6 +629,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("artifact", help="chaos-tail.json / degradation-knee.json")
     q.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "fleet", help="cluster-scale serving simulation (scale/failover/replay)"
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    q = fleet_sub.add_parser("scale", help="goodput/tails vs servers × tenants")
+    q.add_argument("--servers", nargs="*", type=int, default=None, help="server grid")
+    q.add_argument("--tenants", nargs="*", type=int, default=None, help="tenant grid")
+    q.add_argument("--requests", type=int, default=20_000, help="requests per cell")
+    q.add_argument("--warmup", type=int, default=4_000, help="warmup requests")
+    q.add_argument("--keys", type=int, default=1 << 12, help="keys per tenant")
+    q.add_argument("--offered", type=float, default=16.0, help="offered load (Mrps)")
+    q.add_argument("--epoch", type=int, default=2_000, help="requests per epoch")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--json", action="store_true", help="emit the JSON payload")
+    q.set_defaults(func=_cmd_fleet)
+
+    q = fleet_sub.add_parser(
+        "failover", help="tail inflation/recovery under server kills"
+    )
+    q.add_argument(
+        "--intensities", nargs="*", type=float, default=None, help="sweep grid"
+    )
+    q.add_argument("--servers", type=int, default=4, help="fleet size")
+    q.add_argument("--tenants", type=int, default=4, help="tenants")
+    q.add_argument("--requests", type=int, default=20_000, help="requests per point")
+    q.add_argument("--warmup", type=int, default=4_000, help="warmup requests")
+    q.add_argument("--keys", type=int, default=1 << 12, help="keys per tenant")
+    q.add_argument("--offered", type=float, default=16.0, help="offered load (Mrps)")
+    q.add_argument("--epoch", type=int, default=2_000, help="requests per epoch")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--json", action="store_true", help="emit the JSON payload")
+    q.set_defaults(func=_cmd_fleet)
+
+    q = fleet_sub.add_parser(
+        "replay", help="re-run a persisted fleet-failover artifact; verify bit-identity"
+    )
+    q.add_argument("artifact", help="fleet-failover.json")
+    q.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "check", help="static analysis of simulation invariants (simcheck)"

@@ -1,0 +1,493 @@
+"""Fleet experiments: goodput/tails at scale, failover under chaos.
+
+Two experiments drive :mod:`repro.fleet` through the lab runner:
+
+* ``fleet-scale`` — a grid over server count × tenant count at fixed
+  offered load: fleet goodput and p50/p99/p99.9 tail latency as the
+  cluster and its tenancy degree grow.  Each cell is an independent
+  task (split-parallel, bit-identical to serial).
+
+* ``fleet-failover`` — a fault-intensity sweep at one fleet shape:
+  the chaos clock kills whole servers (site ``fleet.server_kill``)
+  at epoch boundaries, killed servers leave the consistent-hash ring,
+  and the orphaned keys re-shard to ring successors whose caches are
+  cold for them.  Each point reports tail inflation (steady vs peak
+  windowed p99) and how many epochs the fleet needs to re-converge.
+
+Every failover point's fault plan is part of the persisted payload,
+so an artifact replays bit-identically from its own JSON (``plans``
+parameter / ``repro fleet replay``) — and the zero-intensity point is
+bit-identical to the fault-free ``fleet-scale`` cell of the same
+shape (an all-zero plan draws nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, plan_for_class, resolve_plan
+from repro.fleet.cluster import FleetRunResult, run_fleet_cell
+
+#: Server/tenant grids the scale experiment covers by default.
+DEFAULT_SERVER_COUNTS = [2, 4, 8]
+DEFAULT_TENANT_COUNTS = [2, 4, 8]
+
+#: Intensities the failover sweep covers by default (0 = fault-free).
+DEFAULT_FAILOVER_INTENSITIES = [0.0, 0.5, 1.0, 2.0, 4.0]
+
+#: Offset separating fleet fault-plan seeds from the experiment seed
+#: stream (and from the chaos experiments' 7_000 offset).
+FLEET_FAULT_SEED_OFFSET = 9_000
+
+#: Windowed p99 must fall back within this factor of the steady-state
+#: level for the fleet to count as recovered after a kill.
+RECOVERY_FACTOR = 1.5
+
+
+def _failover_plan(
+    intensity: float,
+    fault_seed: int,
+    plans: Optional[Mapping[str, Mapping[str, Any]]],
+) -> FaultPlan:
+    """The plan for one sweep point: a replay override wins."""
+    key = f"{intensity:g}"
+    if plans is not None and key in plans:
+        return resolve_plan(plans[key])
+    return plan_for_class("server-kill", seed=fault_seed, intensity=intensity)
+
+
+# ----------------------------------------------------------------------
+# fleet-scale
+# ----------------------------------------------------------------------
+
+@dataclass
+class FleetScaleResult:
+    """The server × tenant goodput/tail grid."""
+
+    server_counts: List[int]
+    tenant_counts: List[int]
+    offered_mrps: float
+    cells: List[Dict[str, Any]]  # row-major: servers outer, tenants inner
+
+    def cell(self, n_servers: int, n_tenants: int) -> Dict[str, Any]:
+        """The payload for one grid shape."""
+        row = self.server_counts.index(n_servers)
+        col = self.tenant_counts.index(n_tenants)
+        return self.cells[row * len(self.tenant_counts) + col]
+
+
+def run_fleet_scale_cell(
+    n_servers: int,
+    n_tenants: int,
+    requests: int = 4000,
+    warmup: int = 800,
+    n_keys: int = 1 << 12,
+    theta: float = 0.99,
+    get_fraction: float = 0.95,
+    offered_mrps: float = 2.0,
+    vnodes: int = 64,
+    epoch_requests: int = 500,
+    tenant_ways: Optional[int] = None,
+    ddio_ways: Optional[int] = None,
+    engine: str = "fast",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One independently-runnable grid cell (fault-free)."""
+    result = run_fleet_cell(
+        n_servers=n_servers,
+        n_tenants=n_tenants,
+        requests=requests,
+        warmup=warmup,
+        n_keys=n_keys,
+        theta=theta,
+        get_fraction=get_fraction,
+        offered_mrps=offered_mrps,
+        vnodes=vnodes,
+        epoch_requests=epoch_requests,
+        tenant_ways=tenant_ways,
+        ddio_ways=ddio_ways,
+        engine=engine,
+        seed=seed,
+    )
+    return result.to_dict()
+
+
+def run_fleet_scale(
+    server_counts: Optional[Sequence[int]] = None,
+    tenant_counts: Optional[Sequence[int]] = None,
+    requests: int = 4000,
+    warmup: int = 800,
+    n_keys: int = 1 << 12,
+    theta: float = 0.99,
+    get_fraction: float = 0.95,
+    offered_mrps: float = 2.0,
+    vnodes: int = 64,
+    epoch_requests: int = 500,
+    tenant_ways: Optional[int] = None,
+    ddio_ways: Optional[int] = None,
+    engine: str = "fast",
+    seed: int = 0,
+) -> FleetScaleResult:
+    """Sweep fleet shape; every cell serves *requests* Zipf requests."""
+    servers_grid = [
+        int(v)
+        for v in (server_counts if server_counts is not None
+                  else DEFAULT_SERVER_COUNTS)
+    ]
+    tenants_grid = [
+        int(v)
+        for v in (tenant_counts if tenant_counts is not None
+                  else DEFAULT_TENANT_COUNTS)
+    ]
+    cells = [
+        run_fleet_scale_cell(
+            n_servers,
+            n_tenants,
+            requests=requests,
+            warmup=warmup,
+            n_keys=n_keys,
+            theta=theta,
+            get_fraction=get_fraction,
+            offered_mrps=offered_mrps,
+            vnodes=vnodes,
+            epoch_requests=epoch_requests,
+            tenant_ways=tenant_ways,
+            ddio_ways=ddio_ways,
+            engine=engine,
+            seed=seed,
+        )
+        for n_servers in servers_grid
+        for n_tenants in tenants_grid
+    ]
+    return FleetScaleResult(
+        server_counts=servers_grid,
+        tenant_counts=tenants_grid,
+        offered_mrps=offered_mrps,
+        cells=cells,
+    )
+
+
+def assemble_fleet_scale(
+    params: Mapping[str, Any], cell_results: Sequence[Dict[str, Any]]
+) -> FleetScaleResult:
+    """Reassemble :func:`run_fleet_scale` from fanned-out cells.
+
+    ``cell_results`` must be ordered like the lab split generates
+    them: servers outer, tenants inner.
+    """
+    servers_grid = [
+        int(v)
+        for v in (params.get("server_counts") or DEFAULT_SERVER_COUNTS)
+    ]
+    tenants_grid = [
+        int(v)
+        for v in (params.get("tenant_counts") or DEFAULT_TENANT_COUNTS)
+    ]
+    expected = len(servers_grid) * len(tenants_grid)
+    if len(cell_results) != expected:
+        raise ValueError(
+            f"expected {expected} cells, got {len(cell_results)}"
+        )
+    return FleetScaleResult(
+        server_counts=servers_grid,
+        tenant_counts=tenants_grid,
+        offered_mrps=float(params.get("offered_mrps", 2.0)),
+        cells=list(cell_results),
+    )
+
+
+def fleet_scale_to_dict(result: FleetScaleResult) -> Dict[str, Any]:
+    """JSON-ready form (the persisted scale artifact)."""
+    return {
+        "server_counts": list(result.server_counts),
+        "tenant_counts": list(result.tenant_counts),
+        "offered_mrps": result.offered_mrps,
+        "cells": list(result.cells),
+    }
+
+
+def format_fleet_scale(result: FleetScaleResult) -> str:
+    """Render the goodput/tail grid."""
+    out = [
+        f"Fleet scale — goodput and tails @ "
+        f"{result.offered_mrps:g} Mrps offered"
+    ]
+    out.append(
+        "servers | tenants |  goodput |    p50 |     p99 |   p99.9"
+    )
+    for n_servers in result.server_counts:
+        for n_tenants in result.tenant_counts:
+            cell = result.cell(n_servers, n_tenants)
+            pct = cell["latency_us"]["percentiles"]
+            out.append(
+                f"{n_servers:>7d} | {n_tenants:>7d} "
+                f"| {cell['goodput_mrps']:>5.2f}Mrp "
+                f"| {pct['p50']:>5.2f}us | {pct['p99']:>6.2f}us "
+                f"| {pct['p99.9']:>6.2f}us"
+            )
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# fleet-failover
+# ----------------------------------------------------------------------
+
+def _recovery_metrics(cell: Mapping[str, Any]) -> Dict[str, Any]:
+    """Tail inflation + re-convergence derived from one cell payload.
+
+    Steady state is the windowed p99 before the first kill (whole run
+    when nothing dies).  Peak is the worst window at or after the
+    first kill; recovery is how many windows elapse from the kill
+    until the windowed p99 falls back under
+    ``RECOVERY_FACTOR × steady`` (-1 = never within the run).
+    """
+    windows = [float(v) for v in cell["window_p99_us"]]
+    kills = cell["kills"]
+    if not windows:
+        return {
+            "steady_p99_us": 0.0,
+            "peak_p99_us": 0.0,
+            "tail_inflation": 1.0,
+            "recovery_windows": 0,
+        }
+    if not kills:
+        steady = float(np.median(windows))
+        return {
+            "steady_p99_us": steady,
+            "peak_p99_us": float(max(windows)),
+            "tail_inflation": (
+                float(max(windows)) / steady if steady > 0 else 1.0
+            ),
+            "recovery_windows": 0,
+        }
+    # Window w covers requests [warmup + w*epoch, ...); kill epochs are
+    # absolute request indices, so translate via the measured offset.
+    requests = int(cell["requests"])
+    measured = int(cell["measured"])
+    warmup = requests - measured
+    epoch_requests = max(1, (requests - warmup) // max(1, len(windows)))
+    first_kill = min(int(k["request_index"]) for k in kills)
+    kill_window = max(0, (first_kill - warmup) // epoch_requests)
+    kill_window = min(kill_window, len(windows) - 1)
+    pre = windows[:kill_window] or windows[: kill_window + 1]
+    steady = float(np.median(pre))
+    post = windows[kill_window:]
+    peak = float(max(post))
+    recovery = -1
+    threshold = RECOVERY_FACTOR * steady
+    for offset, value in enumerate(post):
+        if value <= threshold:
+            recovery = offset
+            break
+    return {
+        "steady_p99_us": steady,
+        "peak_p99_us": peak,
+        "tail_inflation": peak / steady if steady > 0 else 1.0,
+        "recovery_windows": recovery,
+    }
+
+
+@dataclass
+class FleetFailoverPoint:
+    """One intensity point of the failover sweep."""
+
+    intensity: float
+    cell: Dict[str, Any]
+    recovery: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "intensity": self.intensity,
+            "cell": self.cell,
+            "recovery": self.recovery,
+        }
+
+
+@dataclass
+class FleetFailoverResult:
+    """Tail inflation and recovery vs chaos intensity."""
+
+    n_servers: int
+    n_tenants: int
+    intensities: List[float]
+    plans: Dict[str, Dict[str, Any]]
+    points: List[FleetFailoverPoint]
+
+
+def run_fleet_failover_point(
+    intensity: float,
+    n_servers: int = 4,
+    n_tenants: int = 4,
+    requests: int = 4000,
+    warmup: int = 800,
+    n_keys: int = 1 << 12,
+    theta: float = 0.99,
+    get_fraction: float = 0.95,
+    offered_mrps: float = 2.0,
+    vnodes: int = 64,
+    epoch_requests: int = 500,
+    tenant_ways: Optional[int] = None,
+    ddio_ways: Optional[int] = None,
+    engine: str = "fast",
+    seed: int = 0,
+    plans: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> FleetFailoverPoint:
+    """One independently-runnable sweep point.
+
+    The fault seed derives from the experiment seed; passing ``plans``
+    (the persisted ``{intensity: plan_dict}`` map from an earlier
+    artifact) replays those plans verbatim instead.
+    """
+    plan = _failover_plan(intensity, seed + FLEET_FAULT_SEED_OFFSET, plans)
+    result = run_fleet_cell(
+        n_servers=n_servers,
+        n_tenants=n_tenants,
+        requests=requests,
+        warmup=warmup,
+        n_keys=n_keys,
+        theta=theta,
+        get_fraction=get_fraction,
+        offered_mrps=offered_mrps,
+        vnodes=vnodes,
+        epoch_requests=epoch_requests,
+        tenant_ways=tenant_ways,
+        ddio_ways=ddio_ways,
+        engine=engine,
+        seed=seed,
+        plan=plan,
+    )
+    cell = result.to_dict()
+    return FleetFailoverPoint(
+        intensity=float(intensity),
+        cell=cell,
+        recovery=_recovery_metrics(cell),
+    )
+
+
+def run_fleet_failover(
+    intensities: Optional[Sequence[float]] = None,
+    n_servers: int = 4,
+    n_tenants: int = 4,
+    requests: int = 4000,
+    warmup: int = 800,
+    n_keys: int = 1 << 12,
+    theta: float = 0.99,
+    get_fraction: float = 0.95,
+    offered_mrps: float = 2.0,
+    vnodes: int = 64,
+    epoch_requests: int = 500,
+    tenant_ways: Optional[int] = None,
+    ddio_ways: Optional[int] = None,
+    engine: str = "fast",
+    seed: int = 0,
+    plans: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> FleetFailoverResult:
+    """Sweep server-kill intensity at one fleet shape."""
+    grid = [
+        float(v)
+        for v in (intensities if intensities is not None
+                  else DEFAULT_FAILOVER_INTENSITIES)
+    ]
+    used_plans = {
+        f"{intensity:g}": _failover_plan(
+            intensity, seed + FLEET_FAULT_SEED_OFFSET, plans
+        ).to_dict()
+        for intensity in grid
+    }
+    points = [
+        run_fleet_failover_point(
+            intensity,
+            n_servers=n_servers,
+            n_tenants=n_tenants,
+            requests=requests,
+            warmup=warmup,
+            n_keys=n_keys,
+            theta=theta,
+            get_fraction=get_fraction,
+            offered_mrps=offered_mrps,
+            vnodes=vnodes,
+            epoch_requests=epoch_requests,
+            tenant_ways=tenant_ways,
+            ddio_ways=ddio_ways,
+            engine=engine,
+            seed=seed,
+            plans=plans,
+        )
+        for intensity in grid
+    ]
+    return FleetFailoverResult(
+        n_servers=n_servers,
+        n_tenants=n_tenants,
+        intensities=grid,
+        plans=used_plans,
+        points=points,
+    )
+
+
+def assemble_fleet_failover(
+    params: Mapping[str, Any], point_results: Sequence[FleetFailoverPoint]
+) -> FleetFailoverResult:
+    """Reassemble :func:`run_fleet_failover` from fanned-out points."""
+    grid = [
+        float(v)
+        for v in (params.get("intensities") or DEFAULT_FAILOVER_INTENSITIES)
+    ]
+    if len(point_results) != len(grid):
+        raise ValueError(
+            f"expected {len(grid)} points, got {len(point_results)}"
+        )
+    seed = int(params.get("seed", 0))
+    plans = params.get("plans")
+    used_plans = {
+        f"{intensity:g}": _failover_plan(
+            intensity, seed + FLEET_FAULT_SEED_OFFSET, plans
+        ).to_dict()
+        for intensity in grid
+    }
+    return FleetFailoverResult(
+        n_servers=int(params.get("n_servers", 4)),
+        n_tenants=int(params.get("n_tenants", 4)),
+        intensities=grid,
+        plans=used_plans,
+        points=list(point_results),
+    )
+
+
+def fleet_failover_to_dict(result: FleetFailoverResult) -> Dict[str, Any]:
+    """JSON-ready form (the persisted failover artifact)."""
+    return {
+        "n_servers": result.n_servers,
+        "n_tenants": result.n_tenants,
+        "intensities": list(result.intensities),
+        "plans": result.plans,
+        "points": [p.to_dict() for p in result.points],
+    }
+
+
+def format_fleet_failover(result: FleetFailoverResult) -> str:
+    """Render the failover sweep table."""
+    out = [
+        f"Fleet failover — {result.n_servers} servers × "
+        f"{result.n_tenants} tenants, server-kill chaos"
+    ]
+    out.append(
+        "intensity | kills | alive |  goodput |     p99 "
+        "| inflation | recovery"
+    )
+    for point in result.points:
+        cell = point.cell
+        recovery = point.recovery
+        rec = recovery["recovery_windows"]
+        out.append(
+            f"{point.intensity:>9.2f} | {len(cell['kills']):>5d} "
+            f"| {cell['alive_at_end']:>5d} "
+            f"| {cell['goodput_mrps']:>5.2f}Mrp "
+            f"| {cell['latency_us']['percentiles']['p99']:>6.2f}us "
+            f"| {recovery['tail_inflation']:>8.2f}x "
+            f"| {'never' if rec < 0 else f'{rec} win'}"
+        )
+    return "\n".join(out)

@@ -62,6 +62,7 @@ PROBABILITY_FIELDS = (
     "nf_stall",
     "kvs_fail",
     "kvs_slow",
+    "server_kill",
 )
 
 
@@ -101,6 +102,9 @@ class FaultRates:
     #: KVS server spends ``kvs_slow_cycles`` extra (per request).
     kvs_slow: float = 0.0
     kvs_slow_cycles: int = 5_000
+    #: Whole fleet server dies and leaves the ring (per server, per
+    #: traffic epoch — site ``fleet.server_kill``).
+    server_kill: float = 0.0
 
     def __post_init__(self) -> None:
         for name in PROBABILITY_FIELDS:
@@ -306,6 +310,7 @@ FAULT_CLASSES: Dict[str, FaultRates] = {
     "nf-crash": FaultRates(nf_crash=0.0005),
     "nf-stall": FaultRates(nf_stall=0.002),
     "kvs": FaultRates(kvs_fail=0.01, kvs_slow=0.05),
+    "server-kill": FaultRates(server_kill=0.02),
     "mixed": _mixed_rates(),
 }
 

@@ -1,0 +1,338 @@
+"""The fleet front end: routing, queueing, chaos kills, failover.
+
+:class:`FleetCluster` owns N :class:`~repro.fleet.server.FleetServer`
+instances and a :class:`~repro.fleet.ring.ConsistentHashRing` with one
+entry per *alive* server.  :func:`run_fleet_cell` drives a Zipf
+traffic stream through it:
+
+1. requests are processed strictly in arrival order;
+2. each request routes by consistent hash of ``(tenant, key)`` to the
+   owning server, waits for the server to drain its queue (one
+   simulated clock per server), then pays the full cache-simulated
+   KVS service cost on that server's hierarchy;
+3. at every epoch boundary the chaos clock may kill whole servers
+   (site ``fleet.server_kill``): a killed server leaves the ring, and
+   only its keys re-shard — to their ring successors, whose caches are
+   cold for them, which is exactly the tail inflation + recovery the
+   ``fleet-failover`` experiment measures.
+
+Determinism contract: server layouts derive per-server seeds from the
+cell seed, kills draw from the plan's dedicated per-site stream (zero
+rates draw nothing), and routing is hash-based — so a cell result is a
+pure function of ``(params, seed, plan)``, a persisted plan replays
+bit-exactly, and a zero-rate plan is bit-identical to no plan at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultClock, resolve_plan
+from repro.fleet.ring import ConsistentHashRing, key_positions
+from repro.fleet.server import FleetServer
+from repro.fleet.traffic import (
+    REFERENCE_FREQ_GHZ,
+    FleetTrafficGenerator,
+    TrafficBatch,
+)
+from repro.lab.spec import derive_seed
+from repro.stats.percentiles import LatencySummary, summarize_latencies
+
+#: The tail percentiles the fleet experiments report.
+FLEET_PERCENTILES = (50.0, 99.0, 99.9)
+
+
+@dataclass(frozen=True)
+class FleetClusterConfig:
+    """Shape and budgets of one simulated fleet."""
+
+    n_servers: int
+    n_tenants: int
+    n_keys: int = 1 << 12
+    vnodes: int = 64
+    tenant_ways: Optional[int] = None
+    ddio_ways: Optional[int] = None
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ValueError(
+                f"n_servers must be positive, got {self.n_servers}"
+            )
+        if self.n_tenants <= 0:
+            raise ValueError(
+                f"n_tenants must be positive, got {self.n_tenants}"
+            )
+        if self.n_keys <= 1:
+            raise ValueError(f"n_keys must be > 1, got {self.n_keys}")
+
+
+class FleetCluster:
+    """N simulated servers behind a consistent-hash load balancer."""
+
+    def __init__(self, config: FleetClusterConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self.servers: List[FleetServer] = [
+            FleetServer(
+                server_id,
+                n_tenants=config.n_tenants,
+                n_keys=config.n_keys,
+                seed=derive_seed(seed, "fleet-server", server_id),
+                tenant_ways=config.tenant_ways,
+                ddio_ways=config.ddio_ways,
+                engine=config.engine,
+            )
+            for server_id in range(config.n_servers)
+        ]
+        self._by_name: Dict[str, FleetServer] = {
+            server.name: server for server in self.servers
+        }
+        self.ring = ConsistentHashRing(vnodes=config.vnodes)
+        for server in self.servers:
+            self.ring.add_node(server.name)
+
+    @property
+    def alive_servers(self) -> List[FleetServer]:
+        """Servers still on the ring, in id order."""
+        return [server for server in self.servers if server.alive]
+
+    def kill_server(self, name: str, request_index: int) -> None:
+        """Remove one server from service (chaos or operator action)."""
+        server = self._by_name[name]
+        if not server.alive:
+            raise ValueError(f"{name} is already dead")
+        if len(self.alive_servers) <= 1:
+            raise ValueError("cannot kill the last alive server")
+        server.kill(request_index)
+        self.ring.remove_node(name)
+
+    def route_epoch(self, batch: TrafficBatch) -> List[FleetServer]:
+        """Owning server per request under the current membership."""
+        owners = self.ring.route_positions(
+            key_positions(batch.tenants, batch.keys)
+        )
+        nodes = self.ring.nodes
+        return [self._by_name[nodes[int(i)]] for i in owners]
+
+
+@dataclass
+class FleetKillEvent:
+    """One chaos server kill, for the persisted payload."""
+
+    epoch: int
+    request_index: int
+    server: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "request_index": self.request_index,
+            "server": self.server,
+        }
+
+
+@dataclass
+class FleetRunResult:
+    """Outcome of one fleet cell (one shape × one plan)."""
+
+    n_servers: int
+    n_tenants: int
+    requests: int
+    measured: int
+    goodput_mrps: float
+    offered_mrps: float
+    duration_ms: float
+    summary: LatencySummary
+    tenant_summaries: List[LatencySummary]
+    window_p99_us: List[float]
+    server_stats: List[Dict[str, Any]]
+    kills: List[FleetKillEvent] = field(default_factory=list)
+    alive_at_end: int = 0
+    fault_counters: Optional[Dict[str, int]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the persisted cell payload)."""
+        payload: Dict[str, Any] = {
+            "n_servers": self.n_servers,
+            "n_tenants": self.n_tenants,
+            "requests": self.requests,
+            "measured": self.measured,
+            "goodput_mrps": self.goodput_mrps,
+            "offered_mrps": self.offered_mrps,
+            "duration_ms": self.duration_ms,
+            "latency_us": self.summary.to_dict(),
+            "tenants": [s.to_dict() for s in self.tenant_summaries],
+            "window_p99_us": list(self.window_p99_us),
+            "servers": list(self.server_stats),
+            "kills": [k.to_dict() for k in self.kills],
+            "alive_at_end": self.alive_at_end,
+        }
+        if self.fault_counters is not None:
+            payload["fault_counters"] = self.fault_counters
+        return payload
+
+
+def run_fleet_cell(
+    n_servers: int,
+    n_tenants: int,
+    requests: int = 4000,
+    warmup: int = 800,
+    n_keys: int = 1 << 12,
+    theta: float = 0.99,
+    get_fraction: float = 0.95,
+    offered_mrps: float = 2.0,
+    vnodes: int = 64,
+    epoch_requests: int = 500,
+    tenant_ways: Optional[int] = None,
+    ddio_ways: Optional[int] = None,
+    engine: str = "fast",
+    seed: int = 0,
+    plan: Optional[object] = None,
+) -> FleetRunResult:
+    """Simulate one fleet shape under one (optional) fault plan.
+
+    The first *warmup* requests are served but excluded from the
+    latency/goodput statistics (cold caches).  ``plan`` — a
+    :class:`~repro.faults.plan.FaultPlan` or its persisted dict form —
+    arms the ``fleet.server_kill`` site; ``None`` or all-zero rates
+    leave every code path and RNG stream untouched.
+    """
+    if requests <= 0:
+        raise ValueError(f"requests must be positive, got {requests}")
+    if not 0 <= warmup < requests:
+        raise ValueError(
+            f"warmup must be in [0, requests), got {warmup}/{requests}"
+        )
+    if epoch_requests <= 0:
+        raise ValueError(
+            f"epoch_requests must be positive, got {epoch_requests}"
+        )
+    resolved = resolve_plan(plan)
+    clock = (
+        FaultClock(resolved)
+        if resolved is not None and resolved.rates.any_active
+        else None
+    )
+    config = FleetClusterConfig(
+        n_servers=n_servers,
+        n_tenants=n_tenants,
+        n_keys=n_keys,
+        vnodes=vnodes,
+        tenant_ways=tenant_ways,
+        ddio_ways=ddio_ways,
+        engine=engine,
+    )
+    cluster = FleetCluster(config, seed=seed)
+    generator = FleetTrafficGenerator(
+        n_tenants=n_tenants,
+        n_keys=n_keys,
+        theta=theta,
+        get_fraction=get_fraction,
+        offered_mrps=offered_mrps,
+        seed=seed + 17,
+    )
+    batch = generator.generate(requests)
+
+    latencies_us = np.zeros(requests, dtype=float)
+    finishes = np.zeros(requests, dtype=float)
+    kills: List[FleetKillEvent] = []
+    kill_rate = clock.rates.server_kill if clock is not None else 0.0
+
+    for epoch_start in range(0, requests, epoch_requests):
+        epoch = epoch_start // epoch_requests
+        if clock is not None and epoch > 0:
+            # Kill draws happen per alive server, in id order, at every
+            # epoch boundary after the first.  The last alive server is
+            # never killed (the fleet must keep serving) but clock
+            # decisions stay a pure function of the plan because each
+            # site draw consumes exactly one uniform.
+            for server in cluster.servers:
+                if not server.alive:
+                    continue
+                if len(cluster.alive_servers) <= 1:
+                    break
+                if clock.fires("fleet.server_kill", kill_rate):
+                    cluster.kill_server(server.name, epoch_start)
+                    clock.count("fleet.injected_server_kills")
+                    kills.append(
+                        FleetKillEvent(
+                            epoch=epoch,
+                            request_index=epoch_start,
+                            server=server.name,
+                        )
+                    )
+        epoch_stop = min(epoch_start + epoch_requests, requests)
+        sub = batch.slice(epoch_start, epoch_stop)
+        owners = cluster.route_epoch(sub)
+        for i, server in enumerate(owners):
+            index = epoch_start + i
+            arrival = float(batch.arrivals_cycles[index])
+            service = server.serve(
+                int(batch.tenants[index]),
+                int(batch.keys[index]),
+                bool(batch.is_get[index]),
+            )
+            start = max(arrival, server.busy_until_cycles)
+            finish = start + service
+            server.busy_until_cycles = finish
+            finishes[index] = finish
+            latencies_us[index] = server.latency_us(finish - arrival)
+
+    measured_slice = slice(warmup, requests)
+    measured_lat = latencies_us[measured_slice]
+    measured = int(measured_lat.size)
+    duration_cycles = float(
+        finishes[measured_slice].max() - batch.arrivals_cycles[warmup]
+    )
+    duration_s = duration_cycles / (REFERENCE_FREQ_GHZ * 1e9)
+    goodput_mrps = measured / duration_s / 1e6 if duration_s > 0 else 0.0
+
+    tenant_summaries: List[LatencySummary] = []
+    measured_tenants = batch.tenants[measured_slice]
+    for tenant in range(n_tenants):
+        tenant_lat = measured_lat[measured_tenants == tenant]
+        if tenant_lat.size:
+            tenant_summaries.append(
+                summarize_latencies(tenant_lat, percentiles=FLEET_PERCENTILES)
+            )
+        else:
+            tenant_summaries.append(
+                LatencySummary(
+                    percentiles={q: 0.0 for q in FLEET_PERCENTILES},
+                    mean=0.0,
+                    count=0,
+                )
+            )
+
+    window_p99: List[float] = []
+    for window_start in range(warmup, requests, epoch_requests):
+        window = latencies_us[
+            window_start : min(window_start + epoch_requests, requests)
+        ]
+        if window.size:
+            window_p99.append(float(np.percentile(window, 99.0)))
+
+    return FleetRunResult(
+        n_servers=n_servers,
+        n_tenants=n_tenants,
+        requests=requests,
+        measured=measured,
+        goodput_mrps=goodput_mrps,
+        offered_mrps=offered_mrps,
+        duration_ms=duration_s * 1e3,
+        summary=summarize_latencies(
+            measured_lat, percentiles=FLEET_PERCENTILES
+        ),
+        tenant_summaries=tenant_summaries,
+        window_p99_us=window_p99,
+        server_stats=[server.stats() for server in cluster.servers],
+        kills=kills,
+        alive_at_end=len(cluster.alive_servers),
+        fault_counters=(
+            clock.stats.to_dict() if clock is not None else None
+        ),
+    )

@@ -202,6 +202,14 @@ _GOLDEN_ADAPTERS = {
         "table4",
         ("machine", "preferable"),
     ),
+    "fleet_scale.json": (
+        "fleet-scale",
+        ("server_counts", "tenant_counts", "offered_mrps", "cells"),
+    ),
+    "fleet_failover.json": (
+        "fleet-failover",
+        ("intensities", "plans", "points"),
+    ),
 }
 
 

@@ -118,6 +118,47 @@ def _knee_merge(params: Mapping[str, Any], results: Sequence[Any]) -> Any:
     return assemble_degradation_knee(params, list(results))
 
 
+def _fleet_scale_tasks(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """One task per (server count, tenant count) grid cell."""
+    from repro.experiments.fleet import (
+        DEFAULT_SERVER_COUNTS,
+        DEFAULT_TENANT_COUNTS,
+    )
+
+    base = dict(params)
+    servers = base.pop("server_counts", None) or list(DEFAULT_SERVER_COUNTS)
+    tenants = base.pop("tenant_counts", None) or list(DEFAULT_TENANT_COUNTS)
+    return [
+        dict(base, n_servers=int(n_servers), n_tenants=int(n_tenants))
+        for n_servers in servers
+        for n_tenants in tenants
+    ]
+
+
+def _fleet_scale_merge(params: Mapping[str, Any], results: Sequence[Any]) -> Any:
+    from repro.experiments.fleet import assemble_fleet_scale
+
+    return assemble_fleet_scale(params, list(results))
+
+
+def _fleet_failover_tasks(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """One task per intensity point of the failover sweep."""
+    from repro.experiments.fleet import DEFAULT_FAILOVER_INTENSITIES
+
+    base = dict(params)
+    grid = base.pop("intensities", None)
+    grid = [float(v) for v in (grid or DEFAULT_FAILOVER_INTENSITIES)]
+    return [dict(base, intensity=intensity) for intensity in grid]
+
+
+def _fleet_failover_merge(
+    params: Mapping[str, Any], results: Sequence[Any]
+) -> Any:
+    from repro.experiments.fleet import assemble_fleet_failover
+
+    return assemble_fleet_failover(params, list(results))
+
+
 # ----------------------------------------------------------------------
 # Registry construction
 # ----------------------------------------------------------------------
@@ -143,6 +184,14 @@ def _build() -> Registry:
         run_chaos_tail_arm,
         run_degradation_knee,
         run_degradation_point,
+    )
+    from repro.experiments.fleet import (
+        fleet_failover_to_dict,
+        fleet_scale_to_dict,
+        run_fleet_failover,
+        run_fleet_failover_point,
+        run_fleet_scale,
+        run_fleet_scale_cell,
     )
     from repro.experiments.fig12_low_rate import fig12_to_dict, run_fig12
     from repro.experiments.fig13_forwarding import run_fig13, run_fig13_arm
@@ -492,6 +541,70 @@ def _build() -> Registry:
             merge=_knee_merge,
         ),
         tags=("chaos",),
+    ))
+
+    registry.register(ExperimentSpec(
+        name="fleet-scale",
+        title="Fleet — goodput and tails vs servers × tenants",
+        runner=run_fleet_scale,
+        serializer=fleet_scale_to_dict,
+        default_params={
+            "server_counts": [2, 4, 8],
+            "tenant_counts": [2, 4, 8],
+            "requests": 120_000,
+            "warmup": 20_000,
+            "epoch_requests": 10_000,
+            "offered_mrps": 16.0,
+            "engine": "fast",
+        },
+        reduced_params={
+            "server_counts": [2, 3],
+            "tenant_counts": [2],
+            "requests": 2400,
+            "warmup": 600,
+            "epoch_requests": 300,
+            "n_keys": 1 << 10,
+            "offered_mrps": 16.0,
+            "engine": "fast",
+        },
+        split=SplitSpec(
+            task_runner=run_fleet_scale_cell,
+            make_tasks=_fleet_scale_tasks,
+            merge=_fleet_scale_merge,
+        ),
+        tags=("fleet",),
+    ))
+    registry.register(ExperimentSpec(
+        name="fleet-failover",
+        title="Fleet — tail inflation and recovery under server kills",
+        runner=run_fleet_failover,
+        serializer=fleet_failover_to_dict,
+        default_params={
+            "n_servers": 6,
+            "n_tenants": 4,
+            "requests": 150_000,
+            "warmup": 25_000,
+            "epoch_requests": 12_500,
+            "offered_mrps": 16.0,
+            "engine": "fast",
+        },
+        reduced_params={
+            "intensities": [0.0, 1.0, 4.0],
+            "n_servers": 3,
+            "n_tenants": 2,
+            "requests": 2400,
+            "warmup": 600,
+            "epoch_requests": 300,
+            "n_keys": 1 << 10,
+            "offered_mrps": 16.0,
+            "engine": "fast",
+        },
+        split=SplitSpec(
+            task_runner=run_fleet_failover_point,
+            make_tasks=_fleet_failover_tasks,
+            merge=_fleet_failover_merge,
+        ),
+        tags=("fleet",),
     ))
 
     registry.register(ExperimentSpec(

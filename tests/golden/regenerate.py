@@ -20,6 +20,12 @@ from repro.core.profiles import derive_preference_table
 from repro.experiments.fig05_access_time import run_fig05
 from repro.experiments.fig06_speedup import run_fig06
 from repro.experiments.fig07_ops_sweep import fig07_to_dict, run_fig07
+from repro.experiments.fleet import (
+    fleet_failover_to_dict,
+    fleet_scale_to_dict,
+    run_fleet_failover,
+    run_fleet_scale,
+)
 from repro.experiments.tables import run_table3, table3_to_dict
 
 GOLDEN_DIR = Path(__file__).resolve().parent
@@ -39,6 +45,32 @@ TABLE3_PARAMS = {
     "n_bulk_packets": 20_000,
     "micro_packets": 500,
     "runs": 1,
+    "seed": 0,
+}
+# Mirror the lab registry's reduced fleet parameters (base seed 0) so
+# the CI fleet-smoke's `repro lab compare <run> tests/golden` checks
+# real numbers for both fleet experiments.
+FLEET_SCALE_PARAMS = {
+    "server_counts": [2, 3],
+    "tenant_counts": [2],
+    "requests": 2400,
+    "warmup": 600,
+    "epoch_requests": 300,
+    "n_keys": 1 << 10,
+    "offered_mrps": 16.0,
+    "engine": "fast",
+    "seed": 0,
+}
+FLEET_FAILOVER_PARAMS = {
+    "intensities": [0.0, 1.0, 4.0],
+    "n_servers": 3,
+    "n_tenants": 2,
+    "requests": 2400,
+    "warmup": 600,
+    "epoch_requests": 300,
+    "n_keys": 1 << 10,
+    "offered_mrps": 16.0,
+    "engine": "fast",
     "seed": 0,
 }
 
@@ -95,7 +127,21 @@ def regenerate() -> None:
     (GOLDEN_DIR / "table4_preferable_slices.json").write_text(
         json.dumps(table4, indent=2) + "\n"
     )
-    print(f"wrote 5 golden files to {GOLDEN_DIR}")
+
+    scale = {"params": FLEET_SCALE_PARAMS, "rel_tol": 1e-6}
+    scale.update(fleet_scale_to_dict(run_fleet_scale(**FLEET_SCALE_PARAMS)))
+    (GOLDEN_DIR / "fleet_scale.json").write_text(
+        json.dumps(scale, indent=2) + "\n"
+    )
+
+    failover = {"params": FLEET_FAILOVER_PARAMS, "rel_tol": 1e-6}
+    failover.update(
+        fleet_failover_to_dict(run_fleet_failover(**FLEET_FAILOVER_PARAMS))
+    )
+    (GOLDEN_DIR / "fleet_failover.json").write_text(
+        json.dumps(failover, indent=2) + "\n"
+    )
+    print(f"wrote 7 golden files to {GOLDEN_DIR}")
 
 
 if __name__ == "__main__":

@@ -83,6 +83,41 @@ class TestFaultRates:
             FaultRates.from_dict({"nic_drop": 0.1, "cosmic_rays": 0.5})
 
 
+class TestServerKillSite:
+    """The fleet's whole-server kill site rides the same plan machinery."""
+
+    def test_server_kill_is_a_probability_field(self):
+        assert "server_kill" in PROBABILITY_FIELDS
+        assert FaultRates(server_kill=0.1).any_active
+        assert FaultRates(server_kill=0.1).scaled(5.0).server_kill == 0.5
+
+    def test_server_kill_class_registered(self):
+        plan = plan_for_class("server-kill", seed=4, intensity=2.0)
+        assert plan.rates.server_kill == pytest.approx(0.04)
+        # Only the kill site is armed: scaling to zero deactivates all.
+        assert not plan.scaled(0.0).rates.any_active
+
+    def test_server_kill_round_trips_canonically(self):
+        plan = FaultPlan(seed=11, rates=FaultRates(server_kill=0.03))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.to_json() == plan.to_json()
+
+    def test_zero_server_kill_is_bit_transparent(self):
+        clock = _clock(seed=5, server_kill=0.0)
+        assert not clock.fires("fleet.server_kill", clock.rates.server_kill)
+        assert clock._streams == {}  # no stream created, bit-identity holds
+
+    def test_kill_decisions_replay_from_plan(self):
+        plan = FaultPlan(seed=21, rates=FaultRates(server_kill=0.25))
+        first = FaultClock(plan)
+        second = FaultClock(FaultPlan.from_json(plan.to_json()))
+        draws_a = [first.fires("fleet.server_kill", 0.25) for _ in range(64)]
+        draws_b = [second.fires("fleet.server_kill", 0.25) for _ in range(64)]
+        assert draws_a == draws_b
+        assert any(draws_a)  # the site actually fires at this rate
+
+
 class TestFaultPlan:
     def test_negative_seed_rejected(self):
         with pytest.raises(ValueError):

@@ -133,6 +133,7 @@ class TestGoldenBaseline:
         assert baseline["manifest"]["kind"] == "golden-baseline"
         assert set(baseline["experiments"]) == {
             "fig05", "fig06", "fig07", "table3", "table4",
+            "fleet-scale", "fleet-failover",
         }
         fig06 = baseline["experiments"]["fig06"]
         assert fig06["tolerances"]["read_speedup_pct"] == {"abs": 0.5}
@@ -142,7 +143,12 @@ class TestGoldenBaseline:
     def test_lab_run_matches_golden(self, tmp_path):
         """The end-to-end acceptance path: run → store → compare → PASS."""
         report = run_matrix(
-            ["fig05", "fig06", "fig07", "table3", "table4"], jobs=1, seed=0
+            [
+                "fig05", "fig06", "fig07", "table3", "table4",
+                "fleet-scale", "fleet-failover",
+            ],
+            jobs=1,
+            seed=0,
         )
         RunStore(tmp_path / "run").write_report(report)
         from repro.lab import load_run

@@ -35,6 +35,23 @@ TINY_OVERRIDES = {
     "skylake-port": {"micro_packets": 200},
     "load-sensitivity": {"n_bulk_packets": 3000, "micro_packets": 150},
     "traffic-classes": {"packets_per_class": 150},
+    "fleet-scale": {
+        "server_counts": [2],
+        "tenant_counts": [2],
+        "requests": 900,
+        "warmup": 300,
+        "epoch_requests": 300,
+        "n_keys": 1 << 10,
+    },
+    "fleet-failover": {
+        "intensities": [0.0, 4.0],
+        "n_servers": 2,
+        "n_tenants": 2,
+        "requests": 900,
+        "warmup": 300,
+        "epoch_requests": 300,
+        "n_keys": 1 << 10,
+    },
 }
 
 

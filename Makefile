@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast diff-test bench bench-full bench-trajectory quick examples figures lab lab-compare check lint sanitize-lab chaos-smoke fleet-smoke clean
+.PHONY: install test test-fast diff-test bench bench-full bench-trajectory quick examples figures lab lab-compare check deepcheck lint sanitize-lab chaos-smoke fleet-smoke clean
 
 LAB_DIR ?= lab-runs/latest
 LAB_JOBS ?= 4
@@ -69,6 +69,14 @@ lab-compare:
 # Static analysis of simulation invariants (see docs/CHECKS.md).
 check:
 	$(PY) -m repro check
+
+# Whole-program hot-path & seed-flow analysis, gated against the
+# committed baseline, plus the ranked vectorization worklist (see
+# docs/CHECKS.md, "Deep checks").  No explicit paths: the default
+# invocation's relative paths are what the baseline is keyed on.
+deepcheck:
+	$(PY) -m repro deepcheck report --baseline .deepcheck-baseline.json
+	$(PY) -m repro deepcheck worklist --top 15
 
 # check + ruff + mypy (ruff/mypy are optional extras: pip install -e .[lint]).
 lint: check

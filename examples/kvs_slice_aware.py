@@ -30,7 +30,7 @@ def run_config(dist_name: str, generator, slice_aware: bool) -> tuple:
     warm = generator.keys(WARMUP, np.random.default_rng(5))
     server.run(warm, np.ones(WARMUP, dtype=bool), warmup=WARMUP - 1)
     keys = generator.keys(MEASURED, np.random.default_rng(6))
-    ops = GetSetMix(1.0).operations(MEASURED)
+    ops = GetSetMix(1.0).operations(MEASURED, np.random.default_rng(7))
     result = server.run(keys, ops)
     return result.tps_millions, result.cycles_per_request
 

@@ -1,0 +1,251 @@
+"""Hot-path propagation from the dataplane roots + static cost model.
+
+The per-packet path of the reproduction starts at a handful of known
+roots — the PMD burst loops, ``ServiceChain`` processing, the KVS
+serve loop, and the fleet cell's serve loop.  Everything those
+functions reach through the call graph runs once (or many times) *per
+packet/request*; everything else runs per experiment.  This module
+computes, for every reachable function:
+
+* ``depth`` — minimum call-edge distance from any root;
+* ``loop_weight`` — the loop nesting accumulated along the *hottest*
+  path from a root: every callsite contributes the number of loops
+  enclosing it in its caller, so a function invoked from a doubly
+  nested loop three frames below a root carries the product of all
+  those loops (capped — cycles in the graph would otherwise spin);
+* ``root`` — the root that path starts from.
+
+plus a static per-call cost estimate for each function body (AST node
+weights, loop bodies multiplied by :data:`LOOP_FACTOR` per nesting
+level).  The vectorization worklist ranks functions by::
+
+    score = est_cost * (1 + loop_weight)
+
+i.e. estimated per-packet cost x static call-frequency weight along
+the hottest path from a dataplane root (see docs/CHECKS.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.deepcheck.callgraph import CallGraph, FuncNode
+
+__all__ = [
+    "DEFAULT_ROOT_PATTERNS",
+    "LOOP_FACTOR",
+    "MAX_LOOP_WEIGHT",
+    "HotInfo",
+    "estimate_cost",
+    "propagate_hotness",
+    "resolve_roots",
+    "subtree_cost",
+]
+
+#: Qualname (suffix) patterns of the known dataplane roots.  These are
+#: the functions the NFV/KVS/fleet serve loops enter per packet or per
+#: request; hotness flows down their call trees.
+DEFAULT_ROOT_PATTERNS: Tuple[str, ...] = (
+    # DPDK poll-mode driver: the per-burst RX/TX path.
+    "PollModeDriver.rx_burst",
+    "PollModeDriver.tx_burst",
+    # NFV chain processing (per packet).
+    "ServiceChain.process",
+    "DutEnvironment.process_packet",
+    # KVS request loop (per request).
+    "KvsServer.serve_one",
+    "KvsServer.run",
+    # Fleet serving (per cell / per request).
+    "run_fleet_cell",
+    "FleetServer.serve",
+)
+
+#: Cost multiplier per loop nesting level in the static cost model.
+LOOP_FACTOR = 8
+
+#: Exponent cap for loop nesting (cost model and path weight): beyond
+#: triple nesting the estimate is saturated anyway, and the cap is what
+#: guarantees propagation terminates on cyclic call graphs.
+MAX_LOOP_WEIGHT = 6
+
+#: AST node type -> abstract cost units (very roughly: interpreter
+#: dispatch + attribute/materialization overhead a vectorized rewrite
+#: would amortize away).
+_NODE_COST: Dict[type, int] = {
+    ast.Call: 4,
+    ast.Attribute: 1,
+    ast.Subscript: 1,
+    ast.BinOp: 1,
+    ast.UnaryOp: 1,
+    ast.Compare: 1,
+    ast.BoolOp: 1,
+    ast.IfExp: 1,
+}
+
+
+@dataclass(frozen=True)
+class HotInfo:
+    """Hot-path facts for one function."""
+
+    depth: int
+    loop_weight: int
+    root: str
+
+    def frequency_weight(self) -> int:
+        """The ranking multiplier (1 + accumulated loop nesting)."""
+        return 1 + self.loop_weight
+
+
+def resolve_roots(
+    graph: CallGraph,
+    patterns: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Node ids matching the root *patterns* (sorted, deduplicated).
+
+    Unknown patterns are skipped silently: the analyzer must keep
+    working while the dataplane is refactored out from under it.
+    """
+    matched: List[str] = []
+    for pattern in patterns if patterns is not None else DEFAULT_ROOT_PATTERNS:
+        matched.extend(graph.find(pattern))
+    return sorted(set(matched))
+
+
+def propagate_hotness(
+    graph: CallGraph,
+    roots: Optional[Sequence[str]] = None,
+) -> Dict[str, HotInfo]:
+    """Propagate hotness from *roots* down the call graph.
+
+    Monotone fixpoint: a function's ``loop_weight`` is the maximum over
+    incoming hot edges of ``caller_weight + callsite_loop_depth``
+    (clamped at :data:`MAX_LOOP_WEIGHT` so call-graph cycles — which
+    are legal — terminate); ``depth`` is the smallest depth achieving
+    that weight.  Deterministic: the worklist drains in sorted order.
+    """
+    root_ids = (
+        list(roots) if roots is not None else resolve_roots(graph)
+    )
+    hot: Dict[str, HotInfo] = {}
+    for root_id in root_ids:
+        if root_id in graph.functions:
+            hot[root_id] = HotInfo(depth=0, loop_weight=0, root=root_id)
+    pending = sorted(hot)
+    while pending:
+        caller = pending.pop(0)
+        info = hot[caller]
+        for site in graph.callees_of(caller):
+            callee = site.callee
+            if callee not in graph.functions:
+                continue
+            weight = min(info.loop_weight + site.loop_depth, MAX_LOOP_WEIGHT)
+            candidate = HotInfo(
+                depth=info.depth + 1, loop_weight=weight, root=info.root
+            )
+            current = hot.get(callee)
+            if current is None or (
+                candidate.loop_weight,
+                -candidate.depth,
+            ) > (current.loop_weight, -current.depth):
+                hot[callee] = candidate
+                if callee not in pending:
+                    pending.append(callee)
+                    pending.sort()
+    return hot
+
+
+def estimate_cost(fn: FuncNode) -> int:
+    """Static per-call cost estimate of one function body.
+
+    Sums :data:`_NODE_COST` weights over the body AST, multiplying
+    nodes inside loops by ``LOOP_FACTOR ** nesting`` (comprehensions
+    count as loops; nesting capped at 3 levels).  The absolute scale is
+    meaningless — only the ordering matters for the worklist.
+    """
+    total = 0
+
+    def visit(node: ast.AST, loop_depth: int) -> None:
+        nonlocal total
+        for child in ast.iter_child_nodes(node):
+            child_depth = loop_depth
+            if isinstance(
+                child,
+                (
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.While,
+                    ast.ListComp,
+                    ast.SetComp,
+                    ast.DictComp,
+                    ast.GeneratorExp,
+                ),
+            ):
+                child_depth += 1
+            weight = _NODE_COST.get(type(child))
+            if weight is not None:
+                total += weight * LOOP_FACTOR ** min(child_depth, 3)
+            visit(child, child_depth)
+
+    visit(fn.tree, 0)
+    return total
+
+
+#: Saturation ceiling for inclusive costs: deep loop towers multiply
+#: fast, and past this point the ordering is already decided.
+_COST_CAP = 5_000_000
+
+
+def subtree_cost(
+    graph: CallGraph,
+    node_id: str,
+    cache: Optional[Dict[str, int]] = None,
+) -> int:
+    """Inclusive per-call cost: own body + every callee's subtree.
+
+    Each callsite contributes its target's inclusive cost multiplied
+    by ``LOOP_FACTOR ** loop_depth`` (the callee runs once per
+    iteration).  Calls that resolve to a method of a project base
+    class are *dispatch-widened*: the cost charged is the maximum over
+    the base method and every subclass override, so an abstract
+    ``NetworkFunction.process`` is priced at its most expensive
+    implementation.  Cycles are cut (the back edge contributes
+    nothing) and results saturate at :data:`_COST_CAP`.
+    """
+    cache = cache if cache is not None else {}
+    return _subtree_cost(graph, node_id, cache, set())
+
+
+def _subtree_cost(
+    graph: CallGraph,
+    node_id: str,
+    cache: Dict[str, int],
+    stack: Set[str],
+) -> int:
+    cached = cache.get(node_id)
+    if cached is not None:
+        return cached
+    fn = graph.functions.get(node_id)
+    if fn is None:
+        return 0
+    total = estimate_cost(fn)
+    stack = stack | {node_id}
+    for site in graph.callees_of(node_id):
+        if site.kind not in ("call", "getattr", "partial"):
+            continue
+        factor = LOOP_FACTOR ** min(site.loop_depth, 3)
+        candidates = [site.callee]
+        callee = graph.functions.get(site.callee)
+        if callee is not None and callee.class_name is not None:
+            candidates.extend(
+                graph.overrides_of(callee.class_name, callee.name)
+            )
+        best = 0
+        for candidate in candidates:
+            if candidate in stack:
+                continue
+            best = max(best, _subtree_cost(graph, candidate, cache, stack))
+        total = min(total + factor * best, _COST_CAP)
+    cache[node_id] = total
+    return total

@@ -1,0 +1,202 @@
+"""Hot-path performance rules (the ``PERF0xx`` family).
+
+These rules only fire inside functions the hot-path propagation
+reached from a dataplane root (:mod:`~repro.analysis.deepcheck.hotpath`)
+— scalar Python in cold setup code is fine; the same line inside the
+per-packet path is the 10-100x headroom ROADMAP item 2 is after.
+
+* **PERF001** — a loop on the hot path invokes a project function per
+  iteration (the per-mbuf Python loop: ``for mbuf in burst:
+  hierarchy.read(...)``).  The fix is a batch API; intentional scalar
+  *reference* paths carry a justified ``# deepcheck: ignore[PERF001]``.
+* **PERF002** — object allocation inside a hot loop (a resolved call
+  to a project class ``__init__``).  Allocate outside, or pool.
+* **PERF003** — ``list.append`` accumulation inside a hot loop;
+  preallocate or build arrays instead.
+* **PERF004** — a numpy call inside a scalar hot loop: per-element
+  numpy dispatch costs more than the arithmetic it does; hoist it out
+  of the loop and operate on the whole array once.
+* **PERF005** — a scalar engine call in a hot loop where the callee's
+  class also ships a batch variant (``read`` vs ``read_batch`` /
+  ``access_batch``): the batch API already exists, use it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.deepcheck.callgraph import CallGraph, FuncNode
+from repro.analysis.deepcheck.hotpath import HotInfo
+from repro.analysis.simcheck import Finding
+
+__all__ = ["perf_findings"]
+
+#: Batch-variant suffix/names PERF005 looks for on the callee's class.
+_BATCH_NAMES = ("{name}_batch", "access_batch", "{name}s_batch")
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to the numpy module in this file."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases
+
+
+def _iter_calls_with_depth(fn: FuncNode) -> Iterator[Tuple[ast.Call, int]]:
+    def visit(node: ast.AST, depth: int) -> Iterator[Tuple[ast.Call, int]]:
+        for child in ast.iter_child_nodes(node):
+            child_depth = depth
+            if isinstance(
+                child,
+                (
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.While,
+                    ast.ListComp,
+                    ast.SetComp,
+                    ast.DictComp,
+                    ast.GeneratorExp,
+                ),
+            ):
+                child_depth += 1
+            if isinstance(child, ast.Call):
+                yield child, child_depth
+            yield from visit(child, child_depth)
+
+    return visit(fn.tree, 0)
+
+
+def _resolved_callee(
+    graph: CallGraph, fn: FuncNode, call: ast.Call
+) -> Optional[FuncNode]:
+    for site in graph.callees_of(fn.node_id):
+        if (
+            site.line == call.lineno
+            and site.col == call.col_offset
+            and site.kind in ("call", "getattr")
+        ):
+            return graph.functions.get(site.callee)
+    return None
+
+
+def _batch_variant(graph: CallGraph, callee: FuncNode) -> Optional[str]:
+    """Name of a batch API on the callee's class, if one exists."""
+    if callee.class_name is None:
+        return None
+    for template in _BATCH_NAMES:
+        candidate = template.format(name=callee.name)
+        if candidate == callee.name:
+            continue
+        if graph.class_has_method(callee.class_name, candidate):
+            return candidate
+    return None
+
+
+def _check_function(
+    graph: CallGraph,
+    fn: FuncNode,
+    info: HotInfo,
+    numpy_names: Set[str],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int]] = set()
+
+    def emit(code: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", fn.line)
+        if (code, line) in seen:
+            return
+        seen.add((code, line))
+        findings.append(
+            Finding(
+                code=code,
+                path=fn.rel,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    hot_tag = (
+        f"hot path: depth {info.depth} from {info.root.split('::')[-1]}"
+    )
+    for call, depth in _iter_calls_with_depth(fn):
+        if depth < 1:
+            continue
+        callee = _resolved_callee(graph, fn, call)
+        if callee is not None and callee.node_id != fn.node_id:
+            if callee.name == "__init__":
+                emit(
+                    "PERF002",
+                    call,
+                    f"'{callee.class_name}' allocated inside a hot loop "
+                    f"({hot_tag}); allocate outside the loop or pool",
+                )
+            else:
+                batch = _batch_variant(graph, callee)
+                if batch is not None:
+                    emit(
+                        "PERF005",
+                        call,
+                        f"scalar '{callee.qualname}' called per "
+                        f"iteration but '{callee.class_name}.{batch}' "
+                        f"exists ({hot_tag}); use the batch API",
+                    )
+                else:
+                    emit(
+                        "PERF001",
+                        call,
+                        f"per-item call to '{callee.qualname}' inside a "
+                        f"hot loop ({hot_tag}); batch the loop body",
+                    )
+            continue
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        receiver = func.value
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in numpy_names
+        ):
+            emit(
+                "PERF004",
+                call,
+                f"numpy call 'np.{func.attr}' inside a scalar hot loop "
+                f"({hot_tag}); hoist it and operate on the whole array",
+            )
+        elif func.attr == "append" and isinstance(receiver, ast.Name):
+            emit(
+                "PERF003",
+                call,
+                f"'{receiver.id}.append' accumulation inside a hot loop "
+                f"({hot_tag}); preallocate or vectorize",
+            )
+    return findings
+
+
+def perf_findings(
+    graph: CallGraph,
+    hot: Dict[str, HotInfo],
+    module_trees: Optional[Dict[str, ast.Module]] = None,
+) -> List[Finding]:
+    """Run PERF001-005 over every hot function; sorted findings."""
+    numpy_by_rel: Dict[str, Set[str]] = {}
+    if module_trees:
+        for rel in sorted(module_trees):
+            numpy_by_rel[rel] = _numpy_aliases(module_trees[rel])
+    findings: List[Finding] = []
+    for node_id in sorted(hot):
+        fn = graph.functions.get(node_id)
+        if fn is None:
+            continue
+        findings.extend(
+            _check_function(
+                graph, fn, hot[node_id], numpy_by_rel.get(fn.rel, set())
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

@@ -843,6 +843,7 @@ def run_simcheck(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     select: Optional[Set[str]] = None,
+    exclude: Optional[Set[str]] = None,
 ) -> CheckResult:
     """Run every rule over *paths* (files or directories).
 
@@ -851,6 +852,7 @@ def run_simcheck(
         root: base directory findings are reported relative to
             (default: the current working directory).
         select: restrict to a subset of rule codes.
+        exclude: drop these rule codes (applied after *select*).
 
     Returns:
         A :class:`CheckResult`; ``result.active`` gates the exit code.
@@ -871,6 +873,8 @@ def run_simcheck(
     findings.extend(_check_experiment_hygiene(files))
     if select:
         findings = [f for f in findings if f.code in select]
+    if exclude:
+        findings = [f for f in findings if f.code not in exclude]
     findings = _apply_suppressions(findings, {src.rel: src for src in files})
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return CheckResult(findings=findings, files=len(files))
@@ -917,7 +921,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--github", action="store_true", help="GitHub Actions annotations"
     )
     parser.add_argument(
-        "--select", default=None, help="comma-separated rule codes to run"
+        "--select",
+        "--rules",
+        dest="select",
+        default=None,
+        help="comma-separated rule codes to run",
+    )
+    parser.add_argument(
+        "--exclude-rules",
+        dest="exclude_rules",
+        default=None,
+        help="comma-separated rule codes to skip",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
@@ -942,7 +956,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.select
         else None
     )
-    result = run_simcheck(roots, select=select)
+    exclude = (
+        {c.strip() for c in args.exclude_rules.split(",") if c.strip()}
+        if args.exclude_rules
+        else None
+    )
+    result = run_simcheck(roots, select=select, exclude=exclude)
     mode = "json" if args.json else ("github" if args.github else "text")
     print(format_result(result, mode))
     return 1 if result.active else 0

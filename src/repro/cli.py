@@ -513,7 +513,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if args.select
         else None
     )
-    result = run_simcheck(paths, root=root, select=select)
+    exclude = (
+        {c.strip() for c in args.exclude_rules.split(",") if c.strip()}
+        if args.exclude_rules
+        else None
+    )
+    result = run_simcheck(paths, root=root, select=select, exclude=exclude)
     mode = "json" if args.json else ("github" if args.github else "text")
     print(format_result(result, mode))
     return 1 if result.active else 0
@@ -681,12 +686,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--github", action="store_true", help="GitHub Actions annotations"
     )
     p.add_argument(
-        "--select", default=None, help="comma-separated rule codes to run"
+        "--select",
+        "--rules",
+        dest="select",
+        default=None,
+        help="comma-separated rule codes to run",
+    )
+    p.add_argument(
+        "--exclude-rules",
+        dest="exclude_rules",
+        default=None,
+        help="comma-separated rule codes to skip",
     )
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     p.set_defaults(func=_cmd_check)
+
+    from repro.analysis.deepcheck.cli import add_deepcheck_parser
+
+    add_deepcheck_parser(sub)
 
     from repro.lab.cli import add_lab_parser
 

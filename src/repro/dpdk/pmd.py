@@ -74,15 +74,19 @@ class PollModeDriver:
         mbufs: List[Mbuf] = []
         for mbuf in polled:
             cycles += self.costs.rx_per_packet
-            for line in mbuf.struct_lines():
-                cycles += hierarchy.read(core, line)
+            # Intentional scalar reference path: the per-mbuf loop
+            # mirrors DPDK's rx_burst semantics line by line; the
+            # vectorized fast path lives in FastEngine.access_batch.
+            for line in mbuf.struct_lines():  # deepcheck: ignore[PERF001]
+                cycles += hierarchy.read(core, line)  # deepcheck: ignore[PERF005]
             if not mbuf.fcs_ok:
                 self.nic.mempool.free(mbuf)
                 self.fcs_discards += 1
                 if clock is not None:
                     clock.count("pmd.fcs_discards")
                 continue
-            mbufs.append(mbuf)
+            # Reference semantics: delivery order must match the ring.
+            mbufs.append(mbuf)  # deepcheck: ignore[PERF003]
         return mbufs, cycles
 
     def tx_burst(self, queue: int, mbufs: Sequence[Mbuf]) -> int:
@@ -97,6 +101,7 @@ class PollModeDriver:
         cycles = self.costs.tx_per_burst
         for mbuf in mbufs:
             cycles += self.costs.tx_per_packet
-            cycles += hierarchy.write(core, mbuf.base_phys, CACHE_LINE)
-            self.nic.transmit(mbuf)
+            # Intentional scalar reference path (see rx_burst).
+            cycles += hierarchy.write(core, mbuf.base_phys, CACHE_LINE)  # deepcheck: ignore[PERF005]
+            self.nic.transmit(mbuf)  # deepcheck: ignore[PERF001]
         return cycles

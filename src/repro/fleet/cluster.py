@@ -308,13 +308,21 @@ def run_fleet_cell(
                 )
             )
 
+    # Windowed p99 series, vectorized: one axis-wise percentile over
+    # the full windows plus one call for the ragged tail (bit-identical
+    # to the per-window loop deepcheck PERF004 flagged).
     window_p99: List[float] = []
-    for window_start in range(warmup, requests, epoch_requests):
-        window = latencies_us[
-            window_start : min(window_start + epoch_requests, requests)
+    n_full = max(0, (requests - warmup)) // epoch_requests
+    if n_full:
+        full_windows = latencies_us[
+            warmup : warmup + n_full * epoch_requests
+        ].reshape(n_full, epoch_requests)
+        window_p99 = [
+            float(v) for v in np.percentile(full_windows, 99.0, axis=1)
         ]
-        if window.size:
-            window_p99.append(float(np.percentile(window, 99.0)))
+    tail = latencies_us[warmup + n_full * epoch_requests : requests]
+    if tail.size:
+        window_p99.append(float(np.percentile(tail, 99.0)))
 
     return FleetRunResult(
         n_servers=n_servers,

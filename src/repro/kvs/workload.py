@@ -130,10 +130,14 @@ class GetSetMix:
         return f"{self.get_fraction:.0%} GET"
 
     def operations(
-        self, count: int, rng: Optional[np.random.Generator] = None
+        self, count: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Boolean array: True = GET, False = SET."""
-        rng = rng if rng is not None else np.random.default_rng(1)
+        """Boolean array: True = GET, False = SET.
+
+        *rng* is required: an implicit constant fallback here silently
+        decoupled the op mix from the experiment seed (the fig04
+        dropped-seed class, flagged by deepcheck FLOW002).
+        """
         return rng.random(count) < self.get_fraction
 
 

@@ -68,8 +68,13 @@ def summarize_latencies(
     array = np.asarray(samples, dtype=float)
     if array.size == 0:
         raise ValueError("no samples")
+    # One vectorized percentile call for all quantiles (bit-identical
+    # to per-q calls; deepcheck PERF004 flagged the scalar loop).
+    values = np.percentile(array, list(percentiles))
     return LatencySummary(
-        percentiles={q: float(np.percentile(array, q)) for q in percentiles},
+        percentiles={
+            q: float(v) for q, v in zip(percentiles, values)
+        },
         mean=float(array.mean()),
         count=int(array.size),
     )

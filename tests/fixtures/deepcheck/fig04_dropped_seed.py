@@ -1,0 +1,23 @@
+"""Regression fixture: the fig04 dropped-seed bug class (FLOW001).
+
+PR 3 fixed exactly this shape in ``experiments/fig04_hash.py``: a
+seeded runner called a helper that *accepts* a seed — with a silent
+default — without forwarding it, so the experiment's RNG stream was
+decoupled from ``--seed``.  The interprocedural pass must keep
+catching it.
+"""
+
+import numpy as np
+
+
+def make_workload(count, seed=None):
+    rng = np.random.default_rng(seed)
+    return rng.random(count)
+
+
+def run_fig04(seed=0):
+    good = make_workload(64, seed=seed)
+    also_good = make_workload(64, seed + 1)
+    bad = make_workload(64)  # finding: FLOW001 (seed dropped on the floor)
+    quiet = make_workload(64)  # deepcheck: ignore[FLOW001]
+    return good, also_good, bad, quiet

@@ -1,0 +1,43 @@
+"""Fixture: every PERF rule firing inside a hot polling loop.
+
+Analyzed with ``root_patterns=["Driver.poll"]`` so the loop body is on
+a hot path.  One occurrence carries an inline suppression to exercise
+``# deepcheck: ignore[...]`` handling.
+"""
+
+import numpy as np
+
+
+class Store:
+    def read(self, addr):
+        return addr % 64
+
+    def read_batch(self, addrs):
+        return [a % 64 for a in addrs]
+
+
+class Packet:
+    def __init__(self, size):
+        self.size = size
+
+
+def checksum(value):
+    return (value * 2654435761) & 0xFFFFFFFF
+
+
+class Driver:
+    def __init__(self, store: Store):
+        self.store = store
+
+    def poll(self, addrs):
+        out = []
+        total = 0
+        for addr in addrs:
+            pkt = Packet(addr)  # finding: PERF002
+            total += self.store.read(addr)  # finding: PERF005
+            total += int(np.log1p(addr))  # finding: PERF004
+            total += checksum(addr)  # finding: PERF001
+            quiet = self.store.read(addr)  # deepcheck: ignore[PERF005]
+            total += quiet
+            out.append(pkt)  # finding: PERF003
+        return out, total

@@ -1,0 +1,697 @@
+"""deepcheck: call-graph edge cases, hot-path propagation, seed-flow
+taint, the PERF/FLOW rule fixtures, baseline workflow, CLI exit codes,
+and the guarantee that the shipped tree (plus its committed baseline)
+is clean with the dataplane at the top of the worklist."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.deepcheck import (
+    DEEP_RULES,
+    DEFAULT_ROOT_PATTERNS,
+    analyze,
+    build_callgraph,
+    estimate_cost,
+    load_baseline,
+    propagate_hotness,
+    resolve_roots,
+    write_baseline,
+)
+from repro.analysis.deepcheck.cli import main as deepcheck_main
+from repro.analysis.deepcheck.hotpath import MAX_LOOP_WEIGHT, subtree_cost
+from repro.analysis.simcheck import run_simcheck
+
+FIXTURES = Path(__file__).parent / "fixtures" / "deepcheck"
+SIM_FIXTURES = Path(__file__).parent / "fixtures" / "simcheck"
+REPO = Path(__file__).parent.parent
+SRC_REPRO = REPO / "src" / "repro"
+BASELINE = REPO / ".deepcheck-baseline.json"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def _write_tree(tmp_path, files):
+    for rel, body in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body))
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# FLOW fixtures: the fig04 dropped-seed regression and worker state
+# ----------------------------------------------------------------------
+
+def test_fig04_dropped_seed_regression():
+    """The exact bug class PR 3 fixed in fig04 must keep firing."""
+    result = analyze([FIXTURES / "fig04_dropped_seed.py"], root=FIXTURES)
+    assert codes(result.active) == ["FLOW001"]
+    # Forwarding by keyword, by position and via a tainted expression
+    # are all clean; only the bare call fires.
+    assert codes(result.suppressed) == ["FLOW001"]
+    text = (FIXTURES / "fig04_dropped_seed.py").read_text().splitlines()
+    for finding in result.active:
+        assert "finding:" in text[finding.line - 1]
+
+
+def test_flow_worker_state_and_reseed():
+    result = analyze([FIXTURES / "flow_worker_state.py"], root=FIXTURES)
+    assert sorted(codes(result.active)) == ["FLOW002", "FLOW003"]
+    text = (FIXTURES / "flow_worker_state.py").read_text().splitlines()
+    for finding in result.active:
+        assert "finding:" in text[finding.line - 1]
+
+
+def test_flow_worker_entry_point_registered():
+    result = analyze([FIXTURES / "flow_worker_state.py"], root=FIXTURES)
+    assert result.graph.entry_points == {
+        "fixture-exp": "flow_worker_state.py::run_exp"
+    }
+
+
+# ----------------------------------------------------------------------
+# PERF fixtures: every rule fires inside the hot loop, none outside
+# ----------------------------------------------------------------------
+
+def test_perf_rules_fire_in_hot_loop():
+    result = analyze(
+        [FIXTURES / "perf_hot_loops.py"],
+        root=FIXTURES,
+        root_patterns=["Driver.poll"],
+    )
+    assert sorted(codes(result.active)) == [
+        "PERF001",
+        "PERF002",
+        "PERF003",
+        "PERF004",
+        "PERF005",
+    ]
+    assert codes(result.suppressed) == ["PERF005"]
+    text = (FIXTURES / "perf_hot_loops.py").read_text().splitlines()
+    for finding in result.active:
+        assert "finding:" in text[finding.line - 1]
+        assert "hot path" in finding.message
+
+
+def test_perf_rules_silent_off_the_hot_path():
+    # Same file, but no root resolves: cold code never fires PERF.
+    result = analyze(
+        [FIXTURES / "perf_hot_loops.py"],
+        root=FIXTURES,
+        root_patterns=["NoSuchClass.no_such_method"],
+    )
+    assert result.active == []
+    assert result.roots == []
+    assert result.worklist == []
+
+
+# ----------------------------------------------------------------------
+# Call-graph edge cases
+# ----------------------------------------------------------------------
+
+def test_callgraph_decorator_edges(tmp_path):
+    tree = _write_tree(
+        tmp_path,
+        {
+            "mod.py": """
+            def timed(fn):
+                return fn
+
+
+            @timed
+            def helper():
+                return 1
+
+
+            def root():
+                return helper()
+            """
+        },
+    )
+    graph = build_callgraph([tree], root=tree)
+    calls = graph.callees_of("mod.py::root")
+    assert any(
+        s.callee == "mod.py::helper" and s.kind == "call" for s in calls
+    )
+    deco = graph.callees_of("mod.py::helper")
+    assert any(
+        s.callee == "mod.py::timed" and s.kind == "decorator" for s in deco
+    )
+
+
+def test_callgraph_partial_targets(tmp_path):
+    tree = _write_tree(
+        tmp_path,
+        {
+            "mod.py": """
+            from functools import partial
+
+
+            def worker(x):
+                return x
+
+
+            def build():
+                return partial(worker, 1)
+            """
+        },
+    )
+    graph = build_callgraph([tree], root=tree)
+    sites = graph.callees_of("mod.py::build")
+    assert any(
+        s.callee == "mod.py::worker" and s.kind == "partial" for s in sites
+    )
+
+
+def test_callgraph_registry_entry_points(tmp_path):
+    tree = _write_tree(
+        tmp_path,
+        {
+            "mod.py": """
+            class ExperimentSpec:
+                def __init__(self, name, runner):
+                    self.name = name
+                    self.runner = runner
+
+
+            def run_fig09(seed=0):
+                return seed
+
+
+            def _build():
+                return ExperimentSpec(name="fig09", runner=run_fig09)
+            """
+        },
+    )
+    graph = build_callgraph([tree], root=tree)
+    assert graph.entry_points == {"fig09": "mod.py::run_fig09"}
+    # The runner reference is also a real edge (kind "ref").
+    sites = graph.callees_of("mod.py::_build")
+    assert any(
+        s.callee == "mod.py::run_fig09" and s.kind == "ref" for s in sites
+    )
+
+
+def test_callgraph_getattr_constant_resolution(tmp_path):
+    tree = _write_tree(
+        tmp_path,
+        {
+            "mod.py": """
+            class Engine:
+                def access(self, addr):
+                    return addr
+
+
+            def dispatch(engine: Engine, addr):
+                return getattr(engine, "access")(addr)
+            """
+        },
+    )
+    graph = build_callgraph([tree], root=tree)
+    sites = graph.callees_of("mod.py::dispatch")
+    assert any(
+        s.callee == "mod.py::Engine.access" and s.kind == "getattr"
+        for s in sites
+    )
+
+
+def test_callgraph_container_element_inference(tmp_path):
+    # `for stage in self.stages:` resolves stage.apply via the declared
+    # List[Stage] element type — across modules.
+    tree = _write_tree(
+        tmp_path,
+        {
+            "stage.py": """
+            class Stage:
+                def apply(self, item):
+                    return item + 1
+            """,
+            "pipeline.py": """
+            from typing import List, Sequence
+
+            from stage import Stage
+
+
+            class Pipeline:
+                def __init__(self, stages: Sequence[Stage]):
+                    self.stages: List[Stage] = list(stages)
+
+                def run(self, item):
+                    for stage in self.stages:
+                        item = stage.apply(item)
+                    return item
+            """,
+        },
+    )
+    graph = build_callgraph([tree], root=tree)
+    sites = graph.callees_of("pipeline.py::Pipeline.run")
+    apply_sites = [s for s in sites if s.callee == "stage.py::Stage.apply"]
+    assert apply_sites and apply_sites[0].loop_depth == 1
+    assert graph.imports["pipeline.py"] == ["stage.py"]
+
+
+def test_callgraph_cycles_terminate(tmp_path):
+    tree = _write_tree(
+        tmp_path,
+        {
+            "mod.py": """
+            def ping(n):
+                if n <= 0:
+                    return 0
+                return pong(n - 1)
+
+
+            def pong(n):
+                if n <= 0:
+                    return 0
+                return ping(n - 1)
+
+
+            def root(batches):
+                for batch in batches:
+                    ping(batch)
+            """
+        },
+    )
+    graph = build_callgraph([tree], root=tree)
+    roots = resolve_roots(graph, ["root"])
+    assert roots == ["mod.py::root"]
+    hot = propagate_hotness(graph, roots)
+    assert "mod.py::ping" in hot and "mod.py::pong" in hot
+    assert hot["mod.py::ping"].loop_weight <= MAX_LOOP_WEIGHT
+    # Inclusive cost through the cycle is finite and memo-safe.
+    cost = subtree_cost(graph, "mod.py::root")
+    assert 0 < cost <= 5_000_000
+
+
+def test_hotpath_loop_weight_accumulates(tmp_path):
+    tree = _write_tree(
+        tmp_path,
+        {
+            "mod.py": """
+            def inner(x):
+                return x * 2
+
+
+            def middle(xs):
+                total = 0
+                for x in xs:
+                    total += inner(x)
+                return total
+
+
+            def root(batches):
+                out = []
+                for batch in batches:
+                    out.append(middle(batch))
+                return out
+            """
+        },
+    )
+    graph = build_callgraph([tree], root=tree)
+    hot = propagate_hotness(graph, resolve_roots(graph, ["root"]))
+    assert hot["mod.py::root"].loop_weight == 0
+    assert hot["mod.py::middle"].loop_weight == 1
+    assert hot["mod.py::inner"].loop_weight == 2
+    assert hot["mod.py::inner"].depth == 2
+
+
+def test_subtree_cost_widens_over_dispatch(tmp_path):
+    # A call resolved to an abstract base method is priced at the most
+    # expensive override, so thin dispatchers don't rank as cheap.
+    tree = _write_tree(
+        tmp_path,
+        {
+            "mod.py": """
+            class Base:
+                def apply(self, item):
+                    raise NotImplementedError
+
+
+            class Heavy(Base):
+                def apply(self, item):
+                    total = 0
+                    for i in range(64):
+                        for j in range(64):
+                            total += i * j * item
+                    return total
+
+
+            def run(stage: Base, items):
+                for item in items:
+                    stage.apply(item)
+            """
+        },
+    )
+    graph = build_callgraph([tree], root=tree)
+    assert graph.overrides_of("Base", "apply") == ["mod.py::Heavy.apply"]
+    own = estimate_cost(graph.functions["mod.py::run"])
+    inclusive = subtree_cost(graph, "mod.py::run")
+    heavy = estimate_cost(graph.functions["mod.py::Heavy.apply"])
+    assert inclusive > own
+    assert inclusive > heavy  # the override's cost was pulled in
+
+
+@pytest.fixture(scope="module")
+def order_tree(tmp_path_factory):
+    base = tmp_path_factory.mktemp("deepcheck-order")
+    return _write_tree(
+        base,
+        {
+            "a.py": """
+            from b import helper
+
+
+            def entry(xs):
+                for x in xs:
+                    helper(x)
+            """,
+            "b.py": """
+            from c import Leaf
+
+
+            def helper(x):
+                return Leaf().get(x)
+            """,
+            "c.py": """
+            class Leaf:
+                def get(self, x):
+                    return x
+
+
+            class Spec:
+                def __init__(self, name, runner):
+                    self.runner = runner
+            """,
+            "d.py": """
+            from a import entry
+            from c import Spec
+
+
+            def _build():
+                return Spec(name="ordered", runner=entry)
+            """,
+        },
+    )
+
+
+def _graph_snapshot(graph):
+    return (
+        sorted(graph.functions),
+        {
+            caller: [(s.callee, s.line, s.col, s.loop_depth, s.kind) for s in sites]
+            for caller, sites in graph.edges.items()
+        },
+        dict(graph.entry_points),
+        dict(graph.imports),
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(perm=st.permutations([0, 1, 2, 3]))
+def test_graph_stable_under_input_order(order_tree, perm):
+    """The graph is a pure function of the file *set*, not its order."""
+    files = sorted(order_tree.glob("*.py"))
+    baseline = _graph_snapshot(build_callgraph(files, root=order_tree))
+    shuffled = [files[i] for i in perm]
+    assert _graph_snapshot(build_callgraph(shuffled, root=order_tree)) == baseline
+
+
+# ----------------------------------------------------------------------
+# Baseline workflow
+# ----------------------------------------------------------------------
+
+def test_baseline_roundtrip(tmp_path):
+    result = analyze([FIXTURES / "fig04_dropped_seed.py"], root=FIXTURES)
+    assert result.active
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, result.graph, result.active)
+    fingerprints = load_baseline(baseline_file)
+    assert fingerprints == {
+        "FLOW001:fig04_dropped_seed.py:run_fig04"
+    }
+    again = analyze(
+        [FIXTURES / "fig04_dropped_seed.py"],
+        root=FIXTURES,
+        baseline=fingerprints,
+    )
+    assert again.active == []
+    assert codes(again.baselined) == ["FLOW001"]
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    # Fingerprints are CODE:path:symbol — inserting lines above the
+    # function must not invalidate the committed baseline.
+    source = (FIXTURES / "fig04_dropped_seed.py").read_text()
+    original = analyze([FIXTURES / "fig04_dropped_seed.py"], root=FIXTURES)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, original.graph, original.active)
+    drifted_dir = tmp_path / "tree"
+    drifted_dir.mkdir()
+    drifted = drifted_dir / "fig04_dropped_seed.py"
+    drifted.write_text("# moved\n# down\n\n\n" + source)
+    result = analyze(
+        [drifted], root=drifted_dir, baseline=load_baseline(baseline_file)
+    )
+    assert result.active == []
+    assert codes(result.baselined) == ["FLOW001"]
+
+
+def test_baseline_rejects_foreign_json(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"not": "a baseline"}))
+    with pytest.raises(ValueError):
+        load_baseline(bogus)
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes and machine-readable output
+# ----------------------------------------------------------------------
+
+def test_cli_report_exit_codes(capsys):
+    rc = deepcheck_main(["report", str(FIXTURES / "fig04_dropped_seed.py")])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FLOW001" in out
+    assert "vectorization worklist" in out
+
+
+def test_cli_report_json(capsys):
+    rc = deepcheck_main(["report", "--json", str(FIXTURES)])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {"summary", "findings", "suppressed", "worklist"} <= set(payload)
+    assert payload["summary"]["findings"] == len(payload["findings"])
+    assert {f["code"] for f in payload["findings"]} == {
+        "FLOW001",
+        "FLOW002",
+        "FLOW003",
+    }
+
+
+def test_cli_report_github_mode(capsys):
+    rc = deepcheck_main(
+        ["report", "--github", str(FIXTURES / "fig04_dropped_seed.py")]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+
+
+def test_cli_report_list_rules(capsys):
+    rc = deepcheck_main(["report", "--list-rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for code in DEEP_RULES:
+        assert code in out
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    baseline_file = tmp_path / "bl.json"
+    rc = deepcheck_main(
+        [
+            "report",
+            "--baseline",
+            str(baseline_file),
+            "--write-baseline",
+            str(FIXTURES / "fig04_dropped_seed.py"),
+        ]
+    )
+    assert rc == 0
+    assert baseline_file.exists()
+    capsys.readouterr()
+    rc = deepcheck_main(
+        [
+            "report",
+            "--baseline",
+            str(baseline_file),
+            str(FIXTURES / "fig04_dropped_seed.py"),
+        ]
+    )
+    assert rc == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_write_baseline_requires_baseline_path(capsys):
+    rc = deepcheck_main(
+        ["report", "--write-baseline", str(FIXTURES / "fig04_dropped_seed.py")]
+    )
+    assert rc == 2
+
+
+def test_cli_worklist_json(capsys):
+    rc = deepcheck_main(
+        [
+            "worklist",
+            "--json",
+            "--roots",
+            "Driver.poll",
+            str(FIXTURES / "perf_hot_loops.py"),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ranking"] == "score = subtree_cost * (1 + loop_weight)"
+    qualnames = [e["qualname"] for e in payload["worklist"]]
+    assert "Driver.poll" in qualnames
+    scores = [e["score"] for e in payload["worklist"]]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_cli_graph_pattern(capsys):
+    rc = deepcheck_main(
+        [
+            "graph",
+            "--pattern",
+            "run_fig04",
+            str(FIXTURES / "fig04_dropped_seed.py"),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "run_fig04" in out and "make_workload" in out
+    rc = deepcheck_main(["graph", "--pattern", "no_such_symbol", str(FIXTURES)])
+    assert rc == 1
+
+
+# ----------------------------------------------------------------------
+# Shipped tree: clean against the committed baseline, dataplane on top
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def shipped():
+    return analyze(
+        [SRC_REPRO], root=SRC_REPRO.parent, baseline=load_baseline(BASELINE)
+    )
+
+
+def test_shipped_tree_is_deepcheck_clean(shipped):
+    details = "\n".join(f.text() for f in shipped.active)
+    assert shipped.active == [], details
+    # Intentional scalar reference paths carry inline justifications.
+    assert len(shipped.suppressed) >= 10
+    assert len(shipped.baselined) > 0
+
+
+def test_shipped_worklist_ranks_dataplane(shipped):
+    top = shipped.worklist[:12]
+    top_paths = {entry.path for entry in top}
+    assert any(p.endswith("dpdk/pmd.py") for p in top_paths), top_paths
+    assert any(p.endswith("net/chain.py") for p in top_paths), top_paths
+    qualnames = {entry.qualname for entry in top}
+    assert qualnames & {"run_fleet_cell", "FleetServer.serve"}, qualnames
+
+
+def test_shipped_graph_covers_tree(shipped):
+    assert shipped.files > 100
+    assert shipped.n_functions > 800
+    assert shipped.n_edges > 1000
+    assert shipped.n_entry_points >= 20  # the lab registry's figures
+    assert len(shipped.roots) == len(DEFAULT_ROOT_PATTERNS)
+    assert shipped.hot_count > 100
+
+
+# ----------------------------------------------------------------------
+# Satellite: `repro check --rules / --exclude-rules`
+# ----------------------------------------------------------------------
+
+def test_simcheck_select_filter():
+    result = run_simcheck(
+        [SIM_FIXTURES / "sim001_nondet.py"],
+        root=SIM_FIXTURES,
+        select={"SIM001"},
+    )
+    assert set(codes(result.active)) == {"SIM001"}
+    result = run_simcheck(
+        [SIM_FIXTURES / "sim001_nondet.py"],
+        root=SIM_FIXTURES,
+        select={"SIM002"},
+    )
+    assert result.active == []
+
+
+def test_simcheck_exclude_filter():
+    unfiltered = run_simcheck(
+        [SIM_FIXTURES / "sim001_nondet.py"], root=SIM_FIXTURES
+    )
+    assert "SIM001" in codes(unfiltered.active)
+    excluded = run_simcheck(
+        [SIM_FIXTURES / "sim001_nondet.py"],
+        root=SIM_FIXTURES,
+        exclude={"SIM001"},
+    )
+    assert "SIM001" not in codes(excluded.active)
+    assert excluded.suppressed == []  # filtered before partitioning
+
+
+def test_repro_check_rule_filtering_cli():
+    env = {"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"}
+    base = [sys.executable, "-m", "repro", "check"]
+    picked = subprocess.run(
+        base + ["--rules", "SIM002", str(SIM_FIXTURES / "sim001_nondet.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert picked.returncode == 0, picked.stdout + picked.stderr
+    dropped = subprocess.run(
+        base
+        + ["--exclude-rules", "SIM001", str(SIM_FIXTURES / "sim001_nondet.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert dropped.returncode == 0, dropped.stdout + dropped.stderr
+
+
+# ----------------------------------------------------------------------
+# `repro deepcheck` wired into the main CLI
+# ----------------------------------------------------------------------
+
+def test_repro_deepcheck_subcommand():
+    env = {"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"}
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "deepcheck",
+            "report",
+            "--baseline",
+            str(BASELINE),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout

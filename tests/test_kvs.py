@@ -69,11 +69,11 @@ class TestUniformKeys:
 
 class TestGetSetMix:
     def test_fraction_respected(self):
-        ops = GetSetMix(0.95).operations(100_000)
+        ops = GetSetMix(0.95).operations(100_000, np.random.default_rng(1))
         assert abs(ops.mean() - 0.95) < 0.01
 
     def test_all_get(self):
-        assert GetSetMix(1.0).operations(1000).all()
+        assert GetSetMix(1.0).operations(1000, np.random.default_rng(1)).all()
 
     def test_label(self):
         assert GetSetMix(0.5).label == "50% GET"

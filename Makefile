@@ -18,9 +18,19 @@ test-fast:
 	$(PY) -m pytest tests/ -q -m "not slow"
 
 # Fast-vs-reference engine equivalence: the differential replay harness
-# plus the hypothesis property suite (see docs/MODEL.md).
+# plus the hypothesis property suite (see docs/MODEL.md).  The
+# dataplane-diff step then replays one trace (and one fleet cell)
+# scalar-vs-batched end to end as a standalone smoke on top of the
+# marked tests in tests/test_dataplane_diff.py.
 diff-test:
 	$(PY) -m pytest tests/ -q -m differential
+	$(PY) -c "from repro.cachesim.diff import run_dataplane_differential, run_fleet_differential; \
+	from repro.net.chain import simple_forwarding_chain; \
+	r = run_dataplane_differential(simple_forwarding_chain, n_packets=400); \
+	assert r.equal, r.detail; \
+	f = run_fleet_differential(n_servers=2, n_tenants=2, requests=800, warmup=200, n_keys=512); \
+	assert f.equal, f.detail; \
+	print('dataplane-diff: scalar == batched on', r.n_packets, 'packets +', f.n_packets, 'fleet requests')"
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q -s

@@ -10,6 +10,7 @@ provenance timers.
 
 from __future__ import annotations
 
+import gc
 import math
 import time
 from dataclasses import dataclass, field
@@ -117,14 +118,26 @@ class EntryMeasurement:
 def _resolve_execution(
     entry: BenchEntry, params: Mapping[str, Any], seed: int
 ):
-    """Bind one zero-argument execution closure + its recorded seed."""
+    """Bind per-pass (prepare, execute) closures + the recorded seed.
+
+    ``prepare`` runs the entry's untimed setup (fixture assembly) and
+    returns a context; ``execute(context)`` is the timed computation.
+    Entries without a setup get a no-op prepare.
+    """
     if entry.kind == "micro":
         runner = entry.runner
+        setup = entry.setup
+        if setup is not None:
 
-        def execute() -> Any:
-            return runner(params, seed)
+            def prepare() -> Any:
+                return setup(params, seed)
 
-        return execute, seed
+            def execute(context: Any) -> Any:
+                return runner(params, seed, context)
+
+            return prepare, execute, seed
+
+        return (lambda: None), (lambda _ctx: runner(params, seed)), seed
     from repro.lab.registry import default_registry
 
     spec = default_registry().get(entry.experiment)
@@ -134,10 +147,10 @@ def _resolve_execution(
         entry_seed = spec.seed_for(seed)
         kwargs.setdefault("seed", entry_seed)
 
-    def execute() -> Any:
+    def execute_experiment(_ctx: Any) -> Any:
         return spec.serializer(spec.runner(**kwargs))
 
-    return execute, entry_seed
+    return (lambda: None), execute_experiment, entry_seed
 
 
 def measure_entry(
@@ -159,14 +172,22 @@ def measure_entry(
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
     params = entry.params_for(scale)
-    execute, entry_seed = _resolve_execution(entry, params, seed)
+    prepare, execute, entry_seed = _resolve_execution(entry, params, seed)
     for _ in range(warmup):
-        execute()
+        execute(prepare())
     samples_ns: List[int] = []
     payload: Any = None
     for _ in range(samples):
+        context = prepare()
+        # Collect before each timed pass so a sample measures the
+        # entry's own work, not this pass's setup or the cyclic
+        # garbage (mempool <-> mbuf, hierarchy <-> engine) the
+        # *previous* pass left behind — without this, collector pauses
+        # land inside whichever entry happens to run next and skew its
+        # samples.
+        gc.collect()
         start = time.perf_counter_ns()  # simcheck: ignore[SIM001] timing is provenance, not a result
-        payload = execute()
+        payload = execute(context)
         samples_ns.append(time.perf_counter_ns() - start)  # simcheck: ignore[SIM001] provenance only
     measurement = EntryMeasurement(
         name=entry.name,

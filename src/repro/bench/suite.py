@@ -61,7 +61,13 @@ class BenchEntry:
         kind: ``"experiment"`` (lab-registry runner) or ``"micro"``
             (self-contained callable).
         experiment: lab registry name for ``kind="experiment"``.
-        runner: ``fn(params, seed) -> payload`` for ``kind="micro"``.
+        runner: ``fn(params, seed) -> payload`` for ``kind="micro"``;
+            with ``setup`` present, ``fn(params, seed, context)``.
+        setup: optional untimed ``fn(params, seed) -> context`` run
+            before every pass (like ``timeit``'s setup statement) —
+            fixtures such as environments and traces are rebuilt fresh
+            per pass but excluded from the sample, so the entry times
+            the computation it names rather than fixture assembly.
         smoke_params / full_params: the two parameter points.
         scaled: integer parameters multiplied by ``REPRO_BENCH_SCALE``.
         work: ``fn(params) -> {"ops": N, "packets": M, ...}`` — the
@@ -78,7 +84,8 @@ class BenchEntry:
     full_params: Mapping[str, Any]
     work: Callable[[Mapping[str, Any]], Dict[str, float]]
     experiment: Optional[str] = None
-    runner: Optional[Callable[[Mapping[str, Any], int], Any]] = None
+    runner: Optional[Callable[..., Any]] = None
+    setup: Optional[Callable[[Mapping[str, Any], int], Any]] = None
     scaled: Tuple[str, ...] = ()
     metrics: Optional[Callable[[Any], Dict[str, float]]] = None
 
@@ -140,6 +147,10 @@ def _micro_batch_work(params: Mapping[str, Any]) -> Dict[str, float]:
 
 def _micro_dma_work(params: Mapping[str, Any]) -> Dict[str, float]:
     return {"packets": float(params["n_spans"])}
+
+
+def _dataplane_work(params: Mapping[str, Any]) -> Dict[str, float]:
+    return {"packets": float(params["n_packets"])}
 
 
 def _ring_work(params: Mapping[str, Any]) -> Dict[str, float]:
@@ -244,6 +255,49 @@ def _micro_dma_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
     return {"dma_read_hit_lines": float(payload["dma_read_hits"])}
 
 
+def _setup_dataplane_forwarding(params: Mapping[str, Any], seed: int) -> Any:
+    """Build a fresh DuT + campus trace; excluded from the sample."""
+    from repro.net.chain import DutConfig, DutEnvironment, simple_forwarding_chain
+    from repro.net.trace import CampusTraceGenerator
+
+    config = DutConfig(
+        engine=str(params["engine"]),
+        dataplane=str(params["dataplane"]),
+        n_mbufs=int(params["n_mbufs"]),
+    )
+    env = DutEnvironment(config, chain_factory=simple_forwarding_chain)
+    generator = CampusTraceGenerator(seed=seed)
+    packets = generator.generate(int(params["n_packets"]), rate_pps=1e6)
+    queues = [p.packet_id % env.nic.n_queues for p in packets]
+    return env, packets, queues
+
+
+def _run_dataplane_forwarding(
+    params: Mapping[str, Any], seed: int, context: Any
+) -> Dict[str, Any]:
+    """Time one forwarding microsim pass over the prebuilt trace.
+
+    The scalar/batched entry pair shares this runner; only the
+    ``engine``/``dataplane`` parameters differ, so the trajectory ratio
+    between the two entries is the end-to-end dataplane speedup.
+    """
+    env, packets, queues = context
+    cycles = env.service_cycles(packets, queues)
+    serviced = [c for c in cycles if c is not None]
+    return {
+        "serviced": len(serviced),
+        "dropped": len(cycles) - len(serviced),
+        "total_cycles": int(sum(serviced)),
+    }
+
+
+def _dataplane_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    return {
+        "serviced_packets": float(payload["serviced"]),
+        "dropped_packets": float(payload["dropped"]),
+    }
+
+
 def _run_ring_routing(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     """Time bulk consistent-hash routing plus one failover re-route."""
     import numpy as np
@@ -319,6 +373,50 @@ def default_suite() -> List[BenchEntry]:
             scaled=("n_bulk_packets", "micro_packets"),
             work=_nfv_work,
             metrics=_nfv_metrics,
+        ),
+        BenchEntry(
+            name="dataplane-forwarding-scalar",
+            title="Forwarding microsim, scalar reference dataplane",
+            kind="micro",
+            runner=_run_dataplane_forwarding,
+            setup=_setup_dataplane_forwarding,
+            smoke_params={
+                "n_packets": 800,
+                "n_mbufs": 1024,
+                "engine": "reference",
+                "dataplane": "scalar",
+            },
+            full_params={
+                "n_packets": 8_000,
+                "n_mbufs": 1024,
+                "engine": "reference",
+                "dataplane": "scalar",
+            },
+            scaled=("n_packets",),
+            work=_dataplane_work,
+            metrics=_dataplane_metrics,
+        ),
+        BenchEntry(
+            name="dataplane-forwarding-batched",
+            title="Forwarding microsim, batched record/replay dataplane",
+            kind="micro",
+            runner=_run_dataplane_forwarding,
+            setup=_setup_dataplane_forwarding,
+            smoke_params={
+                "n_packets": 800,
+                "n_mbufs": 1024,
+                "engine": "fast",
+                "dataplane": "batched",
+            },
+            full_params={
+                "n_packets": 8_000,
+                "n_mbufs": 1024,
+                "engine": "fast",
+                "dataplane": "batched",
+            },
+            scaled=("n_packets",),
+            work=_dataplane_work,
+            metrics=_dataplane_metrics,
         ),
         BenchEntry(
             name="fig14-service-chain",

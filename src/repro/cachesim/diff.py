@@ -320,3 +320,165 @@ def run_differential(
         diverging = [k for k in ref_fp if ref_fp[k] != fast_fp[k]]
         report.detail = f"state fingerprints diverge in: {diverging}"
     return report
+
+
+# ----------------------------------------------------------------------
+# Dataplane-level differential replay (scalar vs batched)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DataplaneDiffReport:
+    """Outcome of one scalar-vs-batched dataplane replay."""
+
+    n_packets: int
+    equal: bool
+    #: Names of the observables that diverged (empty when equal).
+    mismatches: List[str] = field(default_factory=list)
+    detail: str = ""
+
+
+def _chain_counters(env) -> Dict[str, int]:
+    """Every integer counter on the chain and its NFs (control state)."""
+    out: Dict[str, int] = {"packets_processed": env.chain.packets_processed}
+    for i, nf in enumerate(env.chain.nfs):
+        for key, value in vars(nf).items():
+            if isinstance(value, (int, bool)):
+                out[f"nf{i}.{nf.name}.{key}"] = int(value)
+            elif isinstance(value, dict):
+                out[f"nf{i}.{nf.name}.len({key})"] = len(value)
+    return out
+
+
+def run_dataplane_differential(
+    chain_factory,
+    n_packets: int = 1000,
+    trace_seed: int = 7,
+    rate_pps: float = 1e6,
+    scalar_engine: str = "reference",
+    batched_engine: str = "fast",
+    plan: Optional[object] = None,
+    **config_kwargs,
+) -> DataplaneDiffReport:
+    """Replay one packet trace through the scalar and batched dataplanes.
+
+    Builds two identically-configured :class:`~repro.net.chain.
+    DutEnvironment` instances — one ``dataplane="scalar"`` on
+    *scalar_engine*, one ``dataplane="batched"`` on *batched_engine* —
+    drives the same :class:`~repro.net.trace.CampusTraceGenerator`
+    trace through both in arrival order, and compares every observable
+    the batched rewrite could possibly perturb: per-packet cycles
+    (including ``None`` drop positions), NIC and DDIO statistics,
+    mempool occupancy and allocation failures, PMD FCS discards,
+    descriptor-ring slots, chain/NF control counters, injected-fault
+    counters (when *plan* arms a chaos plan, applied to both sides
+    from the same seed), and the deep cache-state fingerprint.
+
+    Extra keyword arguments become shared
+    :class:`~repro.net.chain.DutConfig` fields (``cache_director``,
+    ``ddio_enabled``, ``watermarks``, ...).
+    """
+    from repro.faults.plan import FaultClock, resolve_plan
+    from repro.net.chain import DutConfig, DutEnvironment
+    from repro.net.trace import CampusTraceGenerator
+
+    def run(engine: str, dataplane: str):
+        config = DutConfig(
+            engine=engine, dataplane=dataplane, **config_kwargs
+        )
+        resolved = resolve_plan(plan)
+        faults = FaultClock(resolved) if resolved is not None else None
+        env = DutEnvironment(config, chain_factory=chain_factory, faults=faults)
+        packets = CampusTraceGenerator(seed=trace_seed).generate(
+            n_packets, rate_pps=rate_pps
+        )
+        queues = [p.packet_id % env.nic.n_queues for p in packets]
+        return env.service_cycles(packets, queues), env
+
+    scalar_cycles, scalar_env = run(scalar_engine, "scalar")
+    batched_cycles, batched_env = run(batched_engine, "batched")
+
+    observables = [
+        ("per_packet_cycles", scalar_cycles, batched_cycles),
+        ("nic_stats", scalar_env.nic.stats, batched_env.nic.stats),
+        ("ddio_stats", scalar_env.ddio.stats, batched_env.ddio.stats),
+        (
+            "mempool",
+            (scalar_env.mempool.available, scalar_env.mempool.alloc_failures),
+            (
+                batched_env.mempool.available,
+                batched_env.mempool.alloc_failures,
+            ),
+        ),
+        (
+            "fcs_discards",
+            scalar_env.pmd.fcs_discards,
+            batched_env.pmd.fcs_discards,
+        ),
+        (
+            "descriptor_slots",
+            scalar_env.nic._descriptor_slot,
+            batched_env.nic._descriptor_slot,
+        ),
+        (
+            "chain_counters",
+            _chain_counters(scalar_env),
+            _chain_counters(batched_env),
+        ),
+        (
+            "fault_counters",
+            scalar_env.faults.stats.to_dict()
+            if scalar_env.faults is not None
+            else None,
+            batched_env.faults.stats.to_dict()
+            if batched_env.faults is not None
+            else None,
+        ),
+        (
+            "state_fingerprint",
+            state_fingerprint(scalar_env.hierarchy),
+            state_fingerprint(batched_env.hierarchy),
+        ),
+    ]
+    report = DataplaneDiffReport(n_packets=n_packets, equal=True)
+    for name, scalar_value, batched_value in observables:
+        if scalar_value != batched_value:
+            report.equal = False
+            report.mismatches.append(name)
+    if not report.equal:
+        first = report.mismatches[0]
+        if first == "per_packet_cycles":
+            for i, (s, b) in enumerate(zip(scalar_cycles, batched_cycles)):
+                if s != b:
+                    report.detail = (
+                        f"packet {i}: scalar cycles {s} != batched {b}"
+                    )
+                    break
+        else:
+            report.detail = f"dataplanes diverge in: {report.mismatches}"
+    return report
+
+
+def run_fleet_differential(**cell_kwargs) -> DataplaneDiffReport:
+    """Run one fleet cell scalar and batched; compare full payloads.
+
+    Keyword arguments are forwarded to
+    :func:`~repro.fleet.cluster.run_fleet_cell` (minus ``dataplane``,
+    which this sets per side).  The comparison covers the entire
+    persisted cell payload — latency summaries, goodput, per-server
+    stats, kill events and fault counters — the strongest observable
+    equality the fleet path exposes.
+    """
+    from repro.fleet.cluster import run_fleet_cell
+
+    scalar = run_fleet_cell(dataplane="scalar", **cell_kwargs).to_dict()
+    batched = run_fleet_cell(dataplane="batched", **cell_kwargs).to_dict()
+    requests = int(scalar["requests"])
+    report = DataplaneDiffReport(n_packets=requests, equal=True)
+    for key in scalar:
+        if scalar[key] != batched[key]:
+            report.equal = False
+            report.mismatches.append(key)
+    if not report.equal:
+        report.detail = f"fleet payloads diverge in: {report.mismatches}"
+    return report

@@ -76,6 +76,10 @@ from repro.mem.address import CACHE_LINE
 #: Level codes used by :class:`BatchResult` (index == depth).
 LEVEL_L1, LEVEL_L2, LEVEL_LLC, LEVEL_DRAM = 0, 1, 2, 3
 
+#: Op codes for :meth:`FastEngine.run_op_stream` — a recorded dataplane
+#: op stream interleaves demand accesses with NIC DMA in arrival order.
+OP_READ, OP_WRITE, OP_DMA_WRITE, OP_DMA_READ = 0, 1, 2, 3
+
 #: Code → name, matching :class:`~repro.cachesim.hierarchy.AccessResult`.
 LEVEL_NAMES: Tuple[str, ...] = ("l1", "l2", "llc", "dram")
 
@@ -333,34 +337,41 @@ class FastEngine:
                 cnt[EV_WB] += 1
             return (vtag, vdirty)
 
-        # Over-approximate set of lines resident in any private cache.
-        # A line absent from it provably needs no invalidation sweep
-        # (LLC back-invalidation, DMA-write snooping).  The set lives on
+        # Over-approximate map of lines resident in any private cache to
+        # a bitmask of the cores that may hold them.  A line absent from
+        # it provably needs no invalidation sweep (LLC back-invalidation,
+        # DMA-write snooping); a line present is swept only on the cores
+        # in its mask instead of every active core.  The map lives on
         # the hierarchy and only ever *grows* between rescans; it stays
-        # a superset because every private-cache insert funnels through
-        # code that adds to it: the engine's own fill helpers below, and
-        # the reference `_fill_l1`/`_fill_l2` (hooked once, the first
-        # time an engine is built, so `access_line`, `prefetch_line` and
-        # `warm` are covered too).  `clflush`/DMA/`drop_all` only remove
-        # lines, which cannot break a superset.  When it outgrows the
-        # private caches' true capacity it is rebuilt from the real set
-        # dicts (cheap: bounded by actual occupancy).
+        # a per-line superset because every private-cache insert funnels
+        # through code that ORs the filling core in: the engine's own
+        # fill helpers below, and the reference `_fill_l1`/`_fill_l2`
+        # (hooked once, the first time an engine is built, so
+        # `access_line`, `prefetch_line` and `warm` are covered too).
+        # `clflush`/DMA/`drop_all` only remove lines, which cannot break
+        # a superset.  When it outgrows the private caches' true
+        # capacity it is rebuilt from the real set dicts (cheap: bounded
+        # by actual occupancy).
         resident = getattr(h, "_resident_superset", None)
         first_hook = resident is None
         if first_hook:
-            resident = set()
+            resident = {}
             h._resident_superset = resident
-        resident_add = resident.add
+        resident_get = resident.get
+
+        def resident_add(line, core):
+            resident[line] = resident_get(line, 0) | (1 << core)
+
         if first_hook:
             ref_fill_l1 = type(h)._fill_l1
             ref_fill_l2 = type(h)._fill_l2
 
             def _fill_l1_hooked(core, line, dirty):
-                resident_add(line)
+                resident[line] = resident_get(line, 0) | (1 << core)
                 return ref_fill_l1(h, core, line, dirty)
 
             def _fill_l2_hooked(core, line, dirty):
-                resident_add(line)
+                resident[line] = resident_get(line, 0) | (1 << core)
                 return ref_fill_l2(h, core, line, dirty)
 
             h._fill_l1 = _fill_l1_hooked
@@ -372,13 +383,16 @@ class FastEngine:
 
         def rescan_resident():
             resident.clear()
-            res_update = resident.update
-            for per_core in l1_sets:
+            for c, per_core in enumerate(l1_sets):
+                bit = 1 << c
                 for s in per_core:
-                    res_update(s)
-            for per_core in l2_sets:
+                    for ln in s:
+                        resident[ln] = resident_get(ln, 0) | bit
+            for c, per_core in enumerate(l2_sets):
+                bit = 1 << c
                 for s in per_core:
-                    res_update(s)
+                    for ln in s:
+                        resident[ln] = resident_get(ln, 0) | bit
 
         rescan_resident()
 
@@ -388,15 +402,21 @@ class FastEngine:
             if victim is None:
                 return 0
             vline, vdirty = victim
-            if inclusive and vline in resident:
-                shift = (vline >> 6)
-                s1i = shift & l1_mask
-                s2i = shift & l2_mask
-                for c in active_cores:
-                    d1 = l1_sets[c][s1i].pop(vline, None)
-                    d2 = l2_sets[c][s2i].pop(vline, None)
-                    if d1 or d2:
-                        vdirty = True
+            if inclusive:
+                m = resident_get(vline)
+                if m is not None:
+                    shift = (vline >> 6)
+                    s1i = shift & l1_mask
+                    s2i = shift & l2_mask
+                    while m:
+                        b = m & -m
+                        m -= b
+                        c = b.bit_length() - 1
+                        d1 = l1_sets[c][s1i].pop(vline, None)
+                        d2 = l2_sets[c][s2i].pop(vline, None)
+                        if d1 or d2:
+                            vdirty = True
+                    del resident[vline]
             if vdirty:
                 stats.dram_writebacks += 1
                 return wb_dram_visible
@@ -439,7 +459,7 @@ class FastEngine:
             if prev is not None:
                 s2[line] = prev or dirty
                 return 0
-            resident_add(line)
+            resident_add(line, core)
             if slc >= 0:
                 if len(slice_memo) >= (1 << 20):
                     slice_memo.clear()
@@ -460,7 +480,7 @@ class FastEngine:
             if prev2 is not None:
                 s2[vline] = True
                 return 0
-            resident_add(vline)
+            resident_add(vline, core)
             if len(s2) >= l2_ways:
                 v2line = next(iter(s2))
                 v2dirty = s2.pop(v2line)
@@ -476,7 +496,7 @@ class FastEngine:
             if prev is not None:
                 s1[line] = prev or dirty
                 return 0
-            resident_add(line)
+            resident_add(line, core)
             if len(s1) >= l1_ways:
                 vline = next(iter(s1))
                 vdirty = s1.pop(vline)
@@ -625,7 +645,7 @@ class FastEngine:
                 # fill_l1, inlined: the probe above just missed, so
                 # the line cannot be resident and the insert never
                 # refreshes.
-                resident_add(line)
+                resident_add(line, core)
                 if len(s1) >= l1_ways:
                     vline = next(iter(s1))
                     vdirty = s1.pop(vline)
@@ -658,102 +678,392 @@ class FastEngine:
             return cycles_arr, levels_arr
 
         ddio_ways = llc.ddio_way_tuple
+        # The common two-way DDIO config gets a branch-free victim
+        # pick in the span loop (same first-free / first-of-equal-LRU
+        # order as the general scan).
+        two_ddio = len(ddio_ways) == 2
+        dw0, dw1 = (ddio_ways if two_ddio else (0, 0))
         EV_DDIO_F, EV_DDIO_R = EVENT_DDIO_FILLS, EVENT_DDIO_READS
+
+        # line -> (slc, set_i, where, pol, stamp, tags_outer,
+        # dirty_outer) memo for the replay paths.  The per-set
+        # ``_where`` dicts, policy objects and LRU stamp lists are
+        # stable for the model's lifetime (drains clear them in
+        # place), but the per-set tag/dirty lists are *replaced* on
+        # drain — so the memo holds the outer per-slice lists and
+        # indexes them per use.  Size-capped like slice_memo.
+        set_memo: dict = {}
+        set_memo_get = set_memo.get
+
+        def set_lookup(line):
+            slc = slice_memo_get(line)
+            if slc is None:
+                slc = slice_lookup(line)
+            set_i = (line >> 6) & llc_mask
+            pol = llc_pols[slc][set_i]
+            info = (
+                slc,
+                set_i,
+                llc_where[slc][set_i],
+                pol,
+                getattr(pol, "_stamp", None),
+                llc_tags[slc],
+                llc_dirty[slc],
+            )
+            if len(set_memo) >= (1 << 20):
+                set_memo.clear()
+            set_memo[line] = info
+            return info
+
+        # (first, last) span -> (rows, slc_pairs, probes): DMA spans
+        # repeat heavily (the same mbuf payload lines, the rotating
+        # descriptor ring), so the per-line address and set resolution
+        # is computed once per distinct span.  ``rows`` are
+        # ``(line, *set_lookup(line))`` tuples; ``slc_pairs`` aggregates
+        # the span's fixed line->slice distribution so per-line counter
+        # increments collapse to one add per slice; ``probes`` pairs
+        # each line with its set's ``_where`` dict for the read path.
+        span_infos: dict = {}
+        span_infos_get = span_infos.get
+
+        def span_info_rows(first, last):
+            rows = tuple(
+                (line,) + (set_memo_get(line) or set_lookup(line))
+                for line in range(first, last + CACHE_LINE, CACHE_LINE)
+            )
+            per_slc: dict = {}
+            for row in rows:
+                slc = row[1]
+                per_slc[slc] = per_slc.get(slc, 0) + 1
+            entry = (
+                rows,
+                tuple(per_slc.items()),
+                tuple((row[0], row[3]) for row in rows),
+            )
+            if len(span_infos) >= (1 << 18):
+                span_infos.clear()
+            span_infos[(first, last)] = entry
+            return entry
 
         def dma_fill_span(first, last, stats):
             # DdioEngine.dma_write with DDIO enabled, flattened:
             # per line, CacheHierarchy.dma_fill_line == invalidate_
             # private + _fill_llc(core=None, dirty=True, io=True).
-            # The residency superset skips the (usually fruitless)
-            # private-cache snoop for payload lines no core ever read.
+            # The residency map skips the (usually fruitless)
+            # private-cache snoop for payload lines no core ever read,
+            # and sweeps only the cores in a resident line's mask.
             if len(resident) > resident_cap:
                 rescan_resident()
-            n = 0
-            for line in range(first, last + CACHE_LINE, CACHE_LINE):
-                n += 1
-                shift = line >> 6
-                if line in resident:
-                    s1i = shift & l1_mask
-                    s2i = shift & l2_mask
-                    for c in active_cores:
-                        l1_sets[c][s1i].pop(line, None)
-                        l2_sets[c][s2i].pop(line, None)
-                slc = slice_lookup(line)
-                cnt = counts[slc]
+            if first == last:
+                # Single-line spans (completion descriptors) rotate
+                # through the whole ring, so caching one span entry
+                # per slot would build 1000s of single-use entries;
+                # the per-line memo alone serves them.
+                info = set_memo_get(first)
+                if info is None:
+                    info = set_lookup(first)
+                rows = ((first,) + info,)
+                cnt = counts[info[0]]
                 cnt[EV_DDIO_F] += 1
                 cnt[EV_FILLS] += 1
-                set_i = shift & llc_mask
-                where = llc_where[slc][set_i]
-                pol = llc_pols[slc][set_i]
+            else:
+                entry = span_infos_get((first, last))
+                if entry is None:
+                    entry = span_info_rows(first, last)
+                rows = entry[0]
+                for slc, v in entry[1]:
+                    cnt = counts[slc]
+                    cnt[EV_DDIO_F] += v
+                    cnt[EV_FILLS] += v
+            for line, slc, set_i, where, pol, stamp, tags_o, dirt_o in rows:
+                m = resident_get(line)
+                if m is not None:
+                    shift = line >> 6
+                    s1i = shift & l1_mask
+                    s2i = shift & l2_mask
+                    while m:
+                        b = m & -m
+                        m -= b
+                        c = b.bit_length() - 1
+                        l1_sets[c][s1i].pop(line, None)
+                        l2_sets[c][s2i].pop(line, None)
+                    del resident[line]
                 existing = where.get(line)
                 if existing is not None:
                     if lru_fast:
                         pol._clock += 1
-                        pol._stamp[existing] = pol._clock
+                        stamp[existing] = pol._clock
                     else:
                         pol.touch(existing)
-                    llc_dirty[slc][set_i][existing] = True
+                    dirt_o[set_i][existing] = True
                     continue
-                tags = llc_tags[slc][set_i]
-                dirt = llc_dirty[slc][set_i]
-                vw = -1
-                for w in ddio_ways:
-                    if tags[w] is None:
-                        vw = w
-                        break
-                if vw < 0:
-                    if lru_fast:
-                        vw = min(ddio_ways, key=pol._stamp.__getitem__)
+                tags = tags_o[set_i]
+                dirt = dirt_o[set_i]
+                if two_ddio and lru_fast:
+                    if tags[dw0] is None:
+                        vw = dw0
+                        vtag = None
+                        vdirty = False
+                    elif tags[dw1] is None:
+                        vw = dw1
+                        vtag = None
+                        vdirty = False
                     else:
-                        vw = pol.victim(ddio_ways)
-                    vtag = tags[vw]
-                    vdirty = dirt[vw]
-                    del where[vtag]
+                        vw = dw0 if stamp[dw0] <= stamp[dw1] else dw1
+                        vtag = tags[vw]
+                        vdirty = dirt[vw]
+                        del where[vtag]
                 else:
-                    vtag = None
-                    vdirty = False
+                    vw = -1
+                    for w in ddio_ways:
+                        if tags[w] is None:
+                            vw = w
+                            break
+                    if vw < 0:
+                        if lru_fast:
+                            vw = min(ddio_ways, key=stamp.__getitem__)
+                        else:
+                            vw = pol.victim(ddio_ways)
+                        vtag = tags[vw]
+                        vdirty = dirt[vw]
+                        del where[vtag]
+                    else:
+                        vtag = None
+                        vdirty = False
                 tags[vw] = line
                 dirt[vw] = True
                 where[line] = vw
                 if lru_fast:
                     pol._clock += 1
-                    pol._stamp[vw] = pol._clock
+                    stamp[vw] = pol._clock
                 else:
                     pol.reset(vw)
                 if vtag is None:
                     continue
+                # Evictions are rare on steady-state spans (lines are
+                # usually re-touches), so their counters stay inline.
+                cnt = counts[slc]
                 cnt[EV_EVICT] += 1
                 if vdirty:
                     cnt[EV_WB] += 1
-                if inclusive and vtag in resident:
-                    vshift = vtag >> 6
-                    vs1 = vshift & l1_mask
-                    vs2 = vshift & l2_mask
-                    for c in active_cores:
-                        d1 = l1_sets[c][vs1].pop(vtag, None)
-                        d2 = l2_sets[c][vs2].pop(vtag, None)
-                        if d1 or d2:
-                            vdirty = True
+                if inclusive:
+                    vm = resident_get(vtag)
+                    if vm is not None:
+                        vshift = vtag >> 6
+                        vs1 = vshift & l1_mask
+                        vs2 = vshift & l2_mask
+                        while vm:
+                            b = vm & -vm
+                            vm -= b
+                            c = b.bit_length() - 1
+                            d1 = l1_sets[c][vs1].pop(vtag, None)
+                            d2 = l2_sets[c][vs2].pop(vtag, None)
+                            if d1 or d2:
+                                vdirty = True
+                        del resident[vtag]
                 if vdirty:
                     stats.dram_writebacks += 1
-            return n
+            return len(rows)
 
         def dma_read_span(first, last):
             # DdioEngine.dma_read, flattened: count the lookup and
             # probe without touching replacement state (reads never
             # allocate).  Returns (lines, hits).
-            n = 0
+            if first == last:
+                # Same single-line shortcut as dma_fill_span: ring
+                # descriptors rotate, so keep them out of span_infos.
+                info = set_memo_get(first)
+                if info is None:
+                    info = set_lookup(first)
+                counts[info[0]][EV_DDIO_R] += 1
+                return 1, (1 if first in info[2] else 0)
+            entry = span_infos_get((first, last))
+            if entry is None:
+                entry = span_info_rows(first, last)
+            rows, slc_pairs, probes = entry
+            for slc, v in slc_pairs:
+                counts[slc][EV_DDIO_R] += v
             hits = 0
-            for line in range(first, last + CACHE_LINE, CACHE_LINE):
-                n += 1
-                slc = slice_lookup(line)
-                counts[slc][EV_DDIO_R] += 1
-                if line in llc_where[slc][(line >> 6) & llc_mask]:
+            for line, where in probes:
+                if line in where:
                     hits += 1
-            return n, hits
+            return len(rows), hits
+
+        def run_ops(ops, stats, ddios, multi):
+            # Replay a recorded dataplane op stream (demand spans and
+            # DMA spans interleaved in arrival order).  Each demand op
+            # runs the flattened `access` body per line, inlined like
+            # `run_batch` with aggregate HierarchyStats applied at the
+            # end — identical outcomes to the reference calls the
+            # recorder displaced — and each DMA op runs the flattened
+            # span path while keeping the owning DdioEngine's stats
+            # exact.  *ops* is a list of ``(kind, first, last, aux)``
+            # tuples; ``aux`` is the issuing core for demand ops and
+            # the DdioEngine index for DMA ops.
+            if len(resident) > resident_cap:
+                rescan_resident()
+            single = None if multi else ddios[0]
+            if single is not None:
+                # One engine owns every DMA op: hoist its dispatch
+                # state out of the loop (``enabled`` cannot change
+                # mid-replay — no user code runs between ops).
+                s_enabled = single.enabled
+                s_stats = single.stats
+            n_reads = n_writes = n_l1 = n_l2 = n_llc = n_dram = 0
+            total_c = 0
+            out_list: list = []
+            out_append = out_list.append
+            for k, line, last, aux in ops:
+                if k <= OP_WRITE:
+                    write = k == OP_WRITE
+                    core = aux
+                    active_cores.add(core)
+                    c = 0
+                    while True:
+                        shift = line >> 6
+                        s1 = l1_sets[core][shift & l1_mask]
+                        d = s1.pop(line, None)
+                        if d is not None:
+                            s1[line] = d or write
+                            c += store_commit if write else l1_hit_lat
+                            n_l1 += 1
+                        else:
+                            s2 = l2_sets[core][shift & l2_mask]
+                            d = s2.pop(line, None)
+                            if d is not None:
+                                s2[line] = d
+                                cc = (
+                                    (store_commit + rfo_l2)
+                                    if write
+                                    else l2_hit_lat
+                                )
+                                n_l2 += 1
+                                lv = 1
+                            else:
+                                info = set_memo_get(line)
+                                if info is None:
+                                    info = set_lookup(line)
+                                slc = info[0]
+                                cnt = counts[slc]
+                                cnt[EV_LOOKUPS] += 1
+                                way = info[2].get(line)
+                                if way is not None:
+                                    cnt[EV_HITS] += 1
+                                    n_llc += 1
+                                    pol = info[3]
+                                    if lru_fast:
+                                        pol._clock += 1
+                                        pol._stamp[way] = pol._clock
+                                    else:
+                                        pol.touch(way)
+                                    if write:
+                                        cc = store_commit + rfo_llc[core][slc]
+                                    else:
+                                        cc = load_lat[core][slc]
+                                else:
+                                    cnt[EV_MISSES] += 1
+                                    n_dram += 1
+                                    cc = (
+                                        (store_commit + rfo_dram)
+                                        if write
+                                        else dram_lat
+                                    )
+                                    if inclusive:
+                                        cc += fill_llc(
+                                            core, line, False, slc, stats
+                                        )
+                                # fill_l2, inlined: the L2 probe above
+                                # just missed, so the insert never
+                                # refreshes; seeding slice_memo keeps
+                                # a later dirty drain of this line from
+                                # recomputing the hash.  The residency
+                                # add must precede the victim drain —
+                                # its LLC fill could evict this very
+                                # line, and the back-invalidation sweep
+                                # must see it as resident.
+                                resident_add(line, core)
+                                if len(slice_memo) >= (1 << 20):
+                                    slice_memo.clear()
+                                slice_memo[line] = slc
+                                if len(s2) >= l2_ways:
+                                    v2line = next(iter(s2))
+                                    v2dirty = s2.pop(v2line)
+                                    s2[line] = False
+                                    cc += drain_l2_victim(
+                                        core, v2line, v2dirty, stats
+                                    )
+                                else:
+                                    s2[line] = False
+                                lv = 2
+                            # fill_l1, inlined (see run_batch): the L1
+                            # probe above just missed, so the insert
+                            # never refreshes.
+                            resident_add(line, core)
+                            if len(s1) >= l1_ways:
+                                vline = next(iter(s1))
+                                vdirty = s1.pop(vline)
+                                s1[line] = write
+                                if vdirty:
+                                    cc += wb_l1_visible + drain_l1_dirty(
+                                        core, vline, stats
+                                    )
+                            else:
+                                s1[line] = write
+                            if lv > 1 and prefetchers[core] is not None:
+                                run_prefetcher(core, line)
+                            c += cc
+                        if write:
+                            n_writes += 1
+                        else:
+                            n_reads += 1
+                        if line >= last:
+                            break
+                        line += CACHE_LINE
+                    out_append(c)
+                    total_c += c
+                elif k == OP_DMA_WRITE:
+                    out_append(0)
+                    if single is not None:
+                        if s_enabled:
+                            s_stats.write_lines += dma_fill_span(
+                                line, last, stats
+                            )
+                        else:
+                            # Disabled DDIO stays on the reference
+                            # per-line invalidate path (it is not a
+                            # hot configuration).
+                            single.dma_write(line, last - line + CACHE_LINE)
+                    else:
+                        ddio = ddios[aux]
+                        if ddio.enabled:
+                            ddio.stats.write_lines += dma_fill_span(
+                                line, last, stats
+                            )
+                        else:
+                            ddio.dma_write(line, last - line + CACHE_LINE)
+                else:
+                    out_append(0)
+                    lines, hits = dma_read_span(line, last)
+                    dstats = s_stats if single is not None else ddios[aux].stats
+                    dstats.read_lines += lines
+                    dstats.read_hits += hits
+                    dstats.read_misses += lines - hits
+            n_demand = n_reads + n_writes
+            stats.reads += n_reads
+            stats.writes += n_writes
+            stats.l1_hits += n_l1
+            stats.l1_misses += n_demand - n_l1
+            stats.l2_hits += n_l2
+            stats.l2_misses += n_llc + n_dram
+            stats.llc_hits += n_llc
+            stats.llc_misses += n_dram
+            stats.dram_accesses += n_dram
+            stats.cycles += total_c
+            return np.array(out_list, dtype=np.int64)
 
         self._access = access
         self._run_batch = run_batch
+        self._run_ops = run_ops
         self._dma_fill_span = dma_fill_span
         self._dma_read_span = dma_read_span
         self._slice_memo = slice_memo
@@ -819,6 +1129,34 @@ class FastEngine:
         # instead of appending per access inside the hot loop.
         slices_arr = np.where(levels_arr >= LEVEL_LLC, slcs_arr, np.int16(-1))
         return BatchResult(cycles=cycles_arr, levels=levels_arr, slices=slices_arr)
+
+    def run_op_stream(
+        self,
+        ops: Sequence[Tuple[int, int, int, int]],
+        ddios: Sequence[object],
+        multi_ddio: bool = False,
+    ) -> np.ndarray:
+        """Replay a recorded dataplane op stream; returns per-op cycles.
+
+        *ops* is a list of ``(kind, first_line, last_line, aux)``
+        tuples: op codes are :data:`OP_READ` … :data:`OP_DMA_READ`,
+        the span covers ``[first_line, last_line]`` inclusive, and
+        ``aux`` is the issuing core for demand ops or the index into
+        *ddios* for DMA ops (only consulted when ``multi_ddio`` is
+        set, e.g. one engine per fleet tenant).  Ops execute strictly
+        in order, so a stream recorded from the scalar dataplane
+        replays with bit-identical cache outcomes and exact
+        ``DdioStats``.  Demand ops return their stall cycles; DMA ops
+        contribute 0, mirroring the scalar path where ``DdioEngine``
+        calls are not charged to any packet.
+
+        The caller must ensure no :class:`CacheSanitizer` is installed:
+        deferred replay cannot reproduce the sanitizer's check/tick
+        interleaving (the batched dataplane falls back to the scalar
+        loop in that case).
+        """
+        self.refresh()
+        return self._run_ops(ops, self.hierarchy.stats, ddios, multi_ddio)
 
     # ------------------------------------------------------------------
     # Fast scalar API (installed over CacheHierarchy.read/write)

@@ -208,17 +208,26 @@ class Mempool:
         mbuf.reset()
         return mbuf
 
+    def peek(self) -> Optional[Mbuf]:
+        """The element the next successful alloc would pop (LIFO top)."""
+        return self._free[-1] if self._free else None
+
     def free(self, mbuf: Mbuf) -> None:
         """Return an mbuf (and its whole chain) to the pool."""
-        for segment in list(mbuf.segments()):
+        free_append = self._free.append
+        sanitizer = self.sanitizer
+        segment = mbuf
+        while segment is not None:
+            nxt = segment.next
             if segment.pool is not self:
                 raise ValueError(
                     f"mbuf {segment.index} does not belong to pool {self.name!r}"
                 )
-            if self.sanitizer is not None:
-                self.sanitizer.on_free(self, segment)
+            if sanitizer is not None:
+                sanitizer.on_free(self, segment)
             segment.next = None
-            self._free.append(segment)
+            free_append(segment)
+            segment = nxt
         if len(self._free) > self.capacity:
             raise RuntimeError(f"double free detected in pool {self.name!r}")
 

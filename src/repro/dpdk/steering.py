@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Sequence
 
+import numpy as np
+
 #: Default RSS indirection-table size (Intel RETA).
 RETA_SIZE = 128
 
@@ -42,6 +44,41 @@ def rss_hash(*fields: int) -> int:
     return (value ^ (value >> 32)) & 0xFFFFFFFF
 
 
+def rss_hash_array(*field_arrays: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`rss_hash` over parallel field arrays.
+
+    Each argument is one header field for every packet; entry *i* of
+    the result equals ``rss_hash(fields[0][i], fields[1][i], …)``.
+    The per-field byte loop is a do-while (at least one byte, then
+    while bits remain), reproduced with a shrinking active mask —
+    uint64 multiplication wraps exactly like the scalar ``& _MASK64``.
+    """
+    if not field_arrays:
+        raise ValueError("rss_hash_array needs at least one field array")
+    n = len(field_arrays[0])
+    value = np.full(n, _FNV_OFFSET, dtype=np.uint64)
+    prime = np.uint64(_FNV_PRIME)
+    byte_mask = np.uint64(0xFF)
+    eight = np.uint64(8)
+    for field in field_arrays:
+        remaining = np.asarray(field, dtype=np.uint64).copy()
+        if len(remaining) != n:
+            raise ValueError("field arrays must have equal length")
+        active = np.ones(n, dtype=bool)
+        while True:
+            idx = np.nonzero(active)[0]
+            if idx.size == 0:
+                break
+            chunk = remaining[idx]
+            value[idx] = (value[idx] ^ (chunk & byte_mask)) * prime
+            chunk >>= eight
+            remaining[idx] = chunk
+            active[idx] = chunk != 0
+    return ((value ^ (value >> np.uint64(32))) & np.uint64(0xFFFFFFFF)).astype(
+        np.uint32
+    )
+
+
 class RssSteering:
     """Hash-based flow→queue spreading through an indirection table."""
 
@@ -56,6 +93,16 @@ class RssSteering:
     def queue_for(self, flow_key: Sequence[int]) -> int:
         """RX queue for a flow key (tuple of integer header fields)."""
         return self.reta[rss_hash(*flow_key) % len(self.reta)]
+
+    def queues_for(self, *field_arrays: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`queue_for` over parallel field arrays.
+
+        Entry *i* equals ``queue_for((fields[0][i], fields[1][i], …))``
+        — same hash, same indirection table, one numpy pass.
+        """
+        hashes = rss_hash_array(*field_arrays)
+        reta = np.asarray(self.reta, dtype=np.int64)
+        return reta[hashes % np.uint32(len(self.reta))]
 
 
 class FlowDirectorSteering:

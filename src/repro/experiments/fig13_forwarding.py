@@ -22,6 +22,7 @@ def run_fig13_arm(
     runs: int = 3,
     seed: int = 0,
     engine: str = "reference",
+    dataplane: str = "scalar",
 ) -> NfvExperimentResult:
     """One arm (DPDK or +CacheDirector) of Fig. 13, independently runnable.
 
@@ -39,6 +40,7 @@ def run_fig13_arm(
         runs=runs,
         seed=seed,
         engine=engine,
+        dataplane=dataplane,
     )
 
 
@@ -49,6 +51,7 @@ def run_fig13(
     runs: int = 3,
     seed: int = 0,
     engine: str = "reference",
+    dataplane: str = "scalar",
 ) -> Dict[str, NfvExperimentResult]:
     """Forwarding at 100 Gbps with RSS steering over 8 cores."""
     return compare_cache_director(
@@ -60,6 +63,7 @@ def run_fig13(
         runs=runs,
         seed=seed,
         engine=engine,
+        dataplane=dataplane,
     )
 
 

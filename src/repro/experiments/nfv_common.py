@@ -79,12 +79,15 @@ def measure_service_times(
     engine: str = "reference",
     faults: Optional[FaultClock] = None,
     watermarks: Optional[Tuple[int, int]] = None,
+    dataplane: str = "scalar",
 ) -> np.ndarray:
     """Cache-simulate a packet sample; returns service times (ns).
 
     With a fault clock, packets lost to injected faults (wire drops,
     FCS discards, allocation failures, NF crashes) are excluded from
     the sample and accounted in the clock's structured counters.
+    ``dataplane="batched"`` charges the sample through the recorded
+    op-stream replay instead of per-packet calls (identical results).
     """
     env = DutEnvironment(
         DutConfig(
@@ -93,6 +96,7 @@ def measure_service_times(
             seed=seed,
             engine=engine,
             watermarks=watermarks,
+            dataplane=dataplane,
         ),
         chain_factory,
         faults=faults,
@@ -118,6 +122,7 @@ def run_nfv_experiment(
     engine: str = "reference",
     fault_plan: Optional[object] = None,
     watermarks: Optional[Tuple[int, int]] = None,
+    dataplane: str = "scalar",
 ) -> NfvExperimentResult:
     """Full pipeline for one configuration; medians over *runs*.
 
@@ -145,6 +150,7 @@ def run_nfv_experiment(
         engine=engine,
         faults=clock,
         watermarks=watermarks,
+        dataplane=dataplane,
     )
     if service_samples.size == 0:
         # Every microsim packet was lost to injected faults (only

@@ -177,6 +177,7 @@ def run_table3(
     micro_packets: int = 1500,
     runs: int = 1,
     seed: int = 0,
+    dataplane: str = "scalar",
 ) -> List[Table3Row]:
     """Compute Table 3 by driving the Fig. 13/14 runners.
 
@@ -194,6 +195,7 @@ def run_table3(
         runs=runs,
         seed=seed,
         engine="fast",
+        dataplane=dataplane,
     )
     service_chain = run_fig14(
         offered_gbps=offered_gbps,
@@ -201,6 +203,7 @@ def run_table3(
         micro_packets=micro_packets,
         runs=runs,
         seed=seed,
+        dataplane=dataplane,
     )
     return table3_rows(forwarding, service_chain)
 

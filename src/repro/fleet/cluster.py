@@ -192,6 +192,7 @@ def run_fleet_cell(
     engine: str = "fast",
     seed: int = 0,
     plan: Optional[object] = None,
+    dataplane: str = "scalar",
 ) -> FleetRunResult:
     """Simulate one fleet shape under one (optional) fault plan.
 
@@ -199,8 +200,19 @@ def run_fleet_cell(
     latency/goodput statistics (cold caches).  ``plan`` — a
     :class:`~repro.faults.plan.FaultPlan` or its persisted dict form —
     arms the ``fleet.server_kill`` site; ``None`` or all-zero rates
-    leave every code path and RNG stream untouched.
+    leave every code path and RNG stream untouched.  ``dataplane``
+    selects how each server charges an epoch's requests: ``"scalar"``
+    serves one request at a time (the reference), ``"batched"`` groups
+    each epoch's requests by owning server and replays every server's
+    op stream in one flattened engine pass
+    (:meth:`FleetServer.serve_batch`) — results are bit-identical
+    because routing, queueing and kill draws never depend on cache
+    timing.
     """
+    if dataplane not in ("scalar", "batched"):
+        raise ValueError(
+            f"dataplane must be 'scalar' or 'batched', got {dataplane!r}"
+        )
     if requests <= 0:
         raise ValueError(f"requests must be positive, got {requests}")
     if not 0 <= warmup < requests:
@@ -227,6 +239,13 @@ def run_fleet_cell(
         engine=engine,
     )
     cluster = FleetCluster(config, seed=seed)
+    # A runtime CacheSanitizer needs its checks interleaved with the
+    # accesses they guard; deferred replay breaks that, so fall back to
+    # the scalar loop (identical results, no speedup) when one is on.
+    use_batched = dataplane == "batched" and all(
+        server.context.hierarchy.sanitizer is None
+        for server in cluster.servers
+    )
     generator = FleetTrafficGenerator(
         n_tenants=n_tenants,
         n_keys=n_keys,
@@ -268,10 +287,39 @@ def run_fleet_cell(
         epoch_stop = min(epoch_start + epoch_requests, requests)
         sub = batch.slice(epoch_start, epoch_stop)
         owners = cluster.route_epoch(sub)
+        if use_batched:
+            # Group the epoch's requests by owning server, preserving
+            # arrival order within each group.  Servers have disjoint
+            # hierarchies and per-server FIFO queues, so per-server
+            # charging order equals the global loop's and queueing
+            # (below) folds the groups back by arrival index.
+            groups: Dict[int, List[int]] = {}
+            for i, server in enumerate(owners):
+                groups.setdefault(server.server_id, []).append(i)
+            by_id = {server.server_id: server for server in owners}
+            for server_id, indices in groups.items():
+                server = by_id[server_id]
+                rows = [epoch_start + i for i in indices]
+                services = server.serve_batch(
+                    batch.tenants[rows],
+                    batch.keys[rows],
+                    batch.is_get[rows],
+                )
+                busy = server.busy_until_cycles
+                for j, index in enumerate(rows):
+                    arrival = float(batch.arrivals_cycles[index])
+                    start = arrival if arrival > busy else busy
+                    busy = start + float(services[j])
+                    finishes[index] = busy
+                    latencies_us[index] = server.latency_us(busy - arrival)
+                server.busy_until_cycles = busy
+            continue
         for i, server in enumerate(owners):
             index = epoch_start + i
             arrival = float(batch.arrivals_cycles[index])
-            service = server.serve(
+            # Intentional scalar reference path: one request at a time
+            # on the owning server, in global arrival order.
+            service = server.serve(  # deepcheck: ignore[PERF001,PERF005]
                 int(batch.tenants[index]),
                 int(batch.keys[index]),
                 bool(batch.is_get[index]),

@@ -125,7 +125,10 @@ class KvsServer:
             else:
                 cycles += hierarchy.write(core, value_line, 1)
         else:
-            for value_line in self.store.value_addresses(key):
+            # Intentional scalar reference path: per-line charging in
+            # request order; batched charging goes through
+            # FleetServer.serve_batch's recorded replay instead.
+            for value_line in self.store.value_addresses(key):  # deepcheck: ignore[PERF001]
                 if is_get:
                     cycles += hierarchy.read(core, value_line, 1)
                 else:

@@ -29,9 +29,23 @@ import numpy as np
 from repro.cachesim.hierarchy import CacheHierarchy
 from repro.core.slice_aware import LinearBuffer, SliceAwareContext
 from repro.dpdk.mbuf import Mbuf
-from repro.dpdk.steering import rss_hash
+from repro.dpdk.mbuf_batch import MbufBatch
+from repro.dpdk.steering import rss_hash, rss_hash_array
 from repro.mem.address import CACHE_LINE
 from repro.net.packet import FiveTuple
+
+
+def _batch_flows(mbuf_batch: MbufBatch) -> List[FiveTuple]:
+    """Per-packet flow tuples of a burst (from the mbuf payloads)."""
+    return [mbuf.payload.flow for mbuf in mbuf_batch.mbufs]  # type: ignore[union-attr]
+
+
+def _flow_field_arrays(
+    flows: List[FiveTuple],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Column-ise flow tuples for vectorised hashing."""
+    arr = np.array(flows, dtype=np.uint64).reshape(len(flows), 5)
+    return arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3], arr[:, 4]
 
 
 class NetworkFunction:
@@ -40,6 +54,15 @@ class NetworkFunction:
     #: Fixed instruction cost per packet (cycles), excluding memory.
     base_cost: int = 40
     name: str = "nf"
+    #: Opt-in contract for the batched template route: ``True`` means
+    #: :meth:`process` issues the same hierarchy accesses and returns
+    #: the same cycle count for every packet carried by the same
+    #: (core, mbuf) pair — no dependence on payload bytes, flow
+    #: identity, ``pkt_len``/``data_len``, or per-packet NF state —
+    #: so the recorder may capture one packet per queue and replay the
+    #: captured ops for the rest of the burst.  Flow- or size-dependent
+    #: NFs (e.g. :class:`LpmRouter`) must leave this ``False``.
+    template_stable: bool = False
 
     def setup(self, context: SliceAwareContext) -> None:
         """Allocate state; called once before processing."""
@@ -48,6 +71,21 @@ class NetworkFunction:
     def process(self, core: int, mbuf: Mbuf) -> int:
         """Process one packet; returns cycles spent by *core*."""
         raise NotImplementedError
+
+    def process_batch(self, core: int, mbuf_batch: MbufBatch) -> np.ndarray:
+        """Process a burst; returns per-packet cycles.
+
+        Concrete NFs override this with a vectorised plan that issues
+        the burst's accesses through one ``access_batch`` call in the
+        scalar loop's packet-major order, so cache outcomes match
+        per-packet :meth:`process` calls over the same burst.  This
+        base implementation is the compatibility fallback for custom
+        NFs that only define :meth:`process`.
+        """
+        return np.array(
+            [self.process(core, mbuf) for mbuf in mbuf_batch.mbufs],
+            dtype=np.int64,
+        )
 
     def _touch_header(self, core: int, mbuf: Mbuf, write: bool = False) -> int:
         """Access the packet's first (header) line."""
@@ -61,6 +99,9 @@ class MacSwapForwarder(NetworkFunction):
 
     name = "mac-swap"
     base_cost = 30
+    # Touches only the header line at a fixed offset; payload-, size-
+    # and flow-independent, keeps no per-packet state.
+    template_stable = True
 
     def process(self, core: int, mbuf: Mbuf) -> int:
         """Read the Ethernet header, swap MACs in place."""
@@ -68,6 +109,18 @@ class MacSwapForwarder(NetworkFunction):
         cycles += self._touch_header(core, mbuf)          # parse
         cycles += self._touch_header(core, mbuf, True)    # swapped MACs
         return cycles
+
+    def process_batch(self, core: int, mbuf_batch: MbufBatch) -> np.ndarray:
+        """Vectorised MAC swap: header read+write pairs, one batch."""
+        n = len(mbuf_batch)
+        headers = mbuf_batch.header_addresses()
+        addresses = np.empty(2 * n, dtype=np.uint64)
+        addresses[0::2] = headers
+        addresses[1::2] = headers
+        kinds = np.zeros(2 * n, dtype=bool)
+        kinds[1::2] = True
+        result = self.hierarchy.access_batch(addresses, kinds, core)
+        return self.base_cost + result.cycles.reshape(n, 2).sum(axis=1)
 
 
 @dataclass(frozen=True)
@@ -204,6 +257,82 @@ class LpmRouter(NetworkFunction):
         cycles += self._touch_header(core, mbuf, write=True)
         return cycles
 
+    def _compiled_tbl24(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sorted-array view of ``tbl24`` for vectorised lookups.
+
+        Rebuilt whenever the route set or the table memory changes (a
+        supervisor restart reallocates both), so batched lookups always
+        see the live table.
+        """
+        key = (len(self.routes), id(self._tbl24_mem))
+        if getattr(self, "_batch_tbl24_key", None) != key:
+            n = len(self._tbl24)
+            keys = np.fromiter(self._tbl24.keys(), dtype=np.int64, count=n)
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            is_tbl8 = np.empty(n, dtype=bool)
+            values = np.empty(n, dtype=np.int64)
+            entries = list(self._tbl24.values())
+            for j, src in enumerate(order.tolist()):
+                entry = entries[src]
+                is_tbl8[j] = entry[0]
+                values[j] = entry[1]
+            self._batch_tbl24_key = key
+            self._batch_tbl24 = (keys, is_tbl8, values)
+        return self._batch_tbl24
+
+    def process_batch(self, core: int, mbuf_batch: MbufBatch) -> np.ndarray:
+        """Vectorised DIR-24-8 walk: ``searchsorted`` over tbl24 keys."""
+        n = len(mbuf_batch)
+        headers = mbuf_batch.header_addresses()
+        self.lookups += n
+        if self.hw_offload:
+            # Classification ran on the NIC: header read + TTL write.
+            addresses = np.empty(2 * n, dtype=np.uint64)
+            addresses[0::2] = headers
+            addresses[1::2] = headers
+            kinds = np.zeros(2 * n, dtype=bool)
+            kinds[1::2] = True
+            result = self.hierarchy.access_batch(addresses, kinds, core)
+            return self.base_cost + result.cycles.reshape(n, 2).sum(axis=1)
+        flows = _batch_flows(mbuf_batch)
+        dst_ip = np.array([flow.dst_ip for flow in flows], dtype=np.int64)
+        idx24 = dst_ip >> 8
+        keys, is_tbl8, values = self._compiled_tbl24()
+        if len(keys):
+            pos = np.minimum(np.searchsorted(keys, idx24), len(keys) - 1)
+            found = keys[pos] == idx24
+            tbl8_hit = found & is_tbl8[pos]
+            vals = values[pos]
+        else:
+            found = np.zeros(n, dtype=bool)
+            tbl8_hit = found
+            vals = np.zeros(n, dtype=np.int64)
+        self.misses += int((~found).sum())
+        tbl24_base = self._tbl24_mem.address_of(0)
+        tbl24_addr = tbl24_base + ((2 * idx24) & ~(CACHE_LINE - 1))
+        tbl8_base = self._tbl8_mem.address_of(0)
+        tbl8_offset = (vals * 256 + (dst_ip & 0xFF)) % self._tbl8_mem.size
+        tbl8_addr = tbl8_base + (tbl8_offset & ~(CACHE_LINE - 1))
+        # Assemble packet-major ops: hdr R, tbl24 R, [tbl8 R], hdr W.
+        counts = 3 + tbl8_hit.astype(np.int64)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        starts = bounds[:-1]
+        total = int(bounds[-1])
+        addresses = np.empty(total, dtype=np.uint64)
+        kinds_arr = np.zeros(total, dtype=bool)
+        addresses[starts] = headers
+        addresses[starts + 1] = tbl24_addr.astype(np.uint64)
+        sel = np.nonzero(tbl8_hit)[0]
+        addresses[starts[sel] + 2] = tbl8_addr[sel].astype(np.uint64)
+        ends = starts + counts - 1
+        addresses[ends] = headers
+        kinds_arr[ends] = True
+        result = self.hierarchy.access_batch(addresses, kinds_arr, core)
+        from repro.net.dataplane import segment_sums
+
+        return self.base_cost + segment_sums(result.cycles, bounds)
+
 
 class Napt(NetworkFunction):
     """Network address & port translation (§5.2).
@@ -268,6 +397,63 @@ class Napt(NetworkFunction):
         cycles += self._touch_header(core, mbuf, write=True)
         return cycles
 
+    def process_batch(self, core: int, mbuf_batch: MbufBatch) -> np.ndarray:
+        """Vectorised NAPT: hashed buckets in one batch, ports in order.
+
+        Bucket addresses come from one :func:`rss_hash_array` pass;
+        first-seen flows are detected (and ports allocated) in arrival
+        order against the live translation table, so control state
+        matches per-packet :meth:`process` calls exactly.
+        """
+        n = len(mbuf_batch)
+        headers = mbuf_batch.header_addresses()
+        flows = _batch_flows(mbuf_batch)
+        fields = _flow_field_arrays(flows)
+        buckets = rss_hash_array(*fields) & np.uint32((1 << self.table_bits) - 1)
+        base = self._table_mem.address_of(0)
+        bucket_addr = base + buckets.astype(np.uint64) * np.uint64(CACHE_LINE)
+        new = np.empty(n, dtype=bool)
+        translations = self.translations
+        for i, flow in enumerate(flows):
+            new[i] = flow not in translations
+            self.translate(flow)
+        return _bucket_rewrite_cycles(
+            self, core, headers, bucket_addr, new
+        )
+
+
+def _bucket_rewrite_cycles(
+    nf: NetworkFunction,
+    core: int,
+    headers: np.ndarray,
+    bucket_addr: np.ndarray,
+    new: np.ndarray,
+) -> np.ndarray:
+    """Charge the shared NAPT/LB op pattern for one burst.
+
+    Per packet, in scalar order: header read, bucket read, bucket
+    write for first-seen flows, header write — issued through one
+    ``access_batch`` call.
+    """
+    counts = 3 + new.astype(np.int64)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    starts = bounds[:-1]
+    total = int(bounds[-1])
+    addresses = np.empty(total, dtype=np.uint64)
+    kinds = np.zeros(total, dtype=bool)
+    addresses[starts] = headers
+    addresses[starts + 1] = bucket_addr
+    sel = np.nonzero(new)[0]
+    addresses[starts[sel] + 2] = bucket_addr[sel]
+    kinds[starts[sel] + 2] = True
+    ends = starts + counts - 1
+    addresses[ends] = headers
+    kinds[ends] = True
+    result = nf.hierarchy.access_batch(addresses, kinds, core)
+    from repro.net.dataplane import segment_sums
+
+    return nf.base_cost + segment_sums(result.cycles, bounds)
+
 
 class RoundRobinLoadBalancer(NetworkFunction):
     """Flow-sticky round-robin load balancer (§5.2)."""
@@ -321,3 +507,28 @@ class RoundRobinLoadBalancer(NetworkFunction):
             cycles += self.hierarchy.write(core, self._bucket_address(flow), 1)
         cycles += self._touch_header(core, mbuf, write=True)
         return cycles
+
+    def process_batch(self, core: int, mbuf_batch: MbufBatch) -> np.ndarray:
+        """Vectorised balancing: hashed buckets batched, picks in order.
+
+        Same shape as :meth:`Napt.process_batch`: one
+        :func:`rss_hash_array` pass yields every bucket address, while
+        first-seen detection and the sticky round-robin assignment walk
+        flows in arrival order against the live table so control state
+        matches per-packet :meth:`process` calls exactly.
+        """
+        n = len(mbuf_batch)
+        headers = mbuf_batch.header_addresses()
+        flows = _batch_flows(mbuf_batch)
+        fields = _flow_field_arrays(flows)
+        buckets = rss_hash_array(*fields) & np.uint32((1 << self.table_bits) - 1)
+        base = self._table_mem.address_of(0)
+        bucket_addr = base + buckets.astype(np.uint64) * np.uint64(CACHE_LINE)
+        new = np.empty(n, dtype=bool)
+        assignments = self.assignments
+        for i, flow in enumerate(flows):
+            new[i] = flow not in assignments
+            self.backend_for(flow)
+        return _bucket_rewrite_cycles(
+            self, core, headers, bucket_addr, new
+        )

@@ -1,0 +1,178 @@
+"""Bulk packet representation: one numpy structured array per burst.
+
+A :class:`PacketBatch` carries what the simulators need for a whole
+trace — frame sizes, flow 5-tuple fields, arrival times, packet ids —
+as columns of one structured array instead of a million
+:class:`~repro.net.packet.Packet` objects.  Trace generators emit it
+directly (:meth:`CampusTraceGenerator.generate_batch`), steering
+resolves it in one vectorised pass (:meth:`PacketBatch.rss_queues`),
+and :meth:`DutEnvironment.service_cycles_batch` consumes it.
+
+The batch keeps the generator's flow population (a list of
+:class:`FiveTuple`) alongside a per-packet flow index, so
+:meth:`to_packets` reconstructs the *same* ``Packet`` objects —
+identical flow-tuple identities included — that the scalar
+``generate()`` would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.packet import FiveTuple, Packet
+
+#: Columns of one packet record.
+PACKET_DTYPE = np.dtype(
+    [
+        ("size", np.uint32),
+        ("flow_index", np.int32),
+        ("src_ip", np.uint32),
+        ("dst_ip", np.uint32),
+        ("src_port", np.uint16),
+        ("dst_port", np.uint16),
+        ("proto", np.uint8),
+        ("arrival_ns", np.float64),
+        ("packet_id", np.int64),
+    ]
+)
+
+
+class PacketBatch:
+    """A burst of packets as one structured array.
+
+    Args:
+        records: a :data:`PACKET_DTYPE` structured array.
+        flows: the flow population the ``flow_index`` column points
+            into (``None`` when the batch was built without one; then
+            :meth:`to_packets` materialises tuples from the columns).
+    """
+
+    def __init__(
+        self, records: np.ndarray, flows: Optional[Sequence[FiveTuple]] = None
+    ) -> None:
+        if records.dtype != PACKET_DTYPE:
+            raise ValueError(f"records must have dtype {PACKET_DTYPE}")
+        self.records = records
+        self.flows: Optional[List[FiveTuple]] = (
+            list(flows) if flows is not None else None
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        sizes: np.ndarray,
+        flow_indices: np.ndarray,
+        arrivals_ns: np.ndarray,
+        flows: Sequence[FiveTuple],
+        first_packet_id: int = 0,
+    ) -> "PacketBatch":
+        """Build a batch from generator arrays plus a flow population."""
+        n = len(sizes)
+        records = np.zeros(n, dtype=PACKET_DTYPE)
+        records["size"] = sizes
+        records["flow_index"] = flow_indices
+        records["arrival_ns"] = arrivals_ns
+        records["packet_id"] = np.arange(
+            first_packet_id, first_packet_id + n, dtype=np.int64
+        )
+        pop = np.array(
+            [tuple(flow) for flow in flows], dtype=np.uint64
+        ).reshape(len(flows), 5)
+        idx = np.asarray(flow_indices, dtype=np.int64)
+        records["src_ip"] = pop[idx, 0]
+        records["dst_ip"] = pop[idx, 1]
+        records["src_port"] = pop[idx, 2]
+        records["dst_port"] = pop[idx, 3]
+        records["proto"] = pop[idx, 4]
+        return cls(records, flows)
+
+    @classmethod
+    def from_packets(cls, packets: Sequence[Packet]) -> "PacketBatch":
+        """Column-ise an existing packet list (flows deduplicated)."""
+        n = len(packets)
+        records = np.zeros(n, dtype=PACKET_DTYPE)
+        flows: List[FiveTuple] = []
+        index_of: dict = {}
+        flow_indices = np.empty(n, dtype=np.int32)
+        for i, packet in enumerate(packets):
+            flow = packet.flow
+            j = index_of.get(flow)
+            if j is None:
+                j = len(flows)
+                index_of[flow] = j
+                flows.append(flow)
+            flow_indices[i] = j
+            records["size"][i] = packet.size
+            records["arrival_ns"][i] = packet.arrival_ns
+            records["packet_id"][i] = packet.packet_id
+        records["flow_index"] = flow_indices
+        pop = np.array([tuple(flow) for flow in flows], dtype=np.uint64)
+        idx = flow_indices.astype(np.int64)
+        records["src_ip"] = pop[idx, 0]
+        records["dst_ip"] = pop[idx, 1]
+        records["src_port"] = pop[idx, 2]
+        records["dst_port"] = pop[idx, 3]
+        records["proto"] = pop[idx, 4]
+        return cls(records, flows)
+
+    # -- views ---------------------------------------------------------
+
+    def flow_tuple(self, i: int) -> FiveTuple:
+        """The *i*-th packet's flow identity."""
+        if self.flows is not None:
+            return self.flows[int(self.records["flow_index"][i])]
+        r = self.records[i]
+        return FiveTuple(
+            src_ip=int(r["src_ip"]),
+            dst_ip=int(r["dst_ip"]),
+            src_port=int(r["src_port"]),
+            dst_port=int(r["dst_port"]),
+            proto=int(r["proto"]),
+        )
+
+    def to_packets(self) -> List[Packet]:
+        """Materialise :class:`Packet` objects (shared flow tuples)."""
+        records = self.records
+        sizes = records["size"].tolist()
+        arrivals = records["arrival_ns"].tolist()
+        ids = records["packet_id"].tolist()
+        if self.flows is not None:
+            flows = self.flows
+            indices = records["flow_index"].tolist()
+            return [
+                Packet(
+                    size=sizes[i],
+                    flow=flows[indices[i]],
+                    arrival_ns=arrivals[i],
+                    packet_id=ids[i],
+                )
+                for i in range(len(records))
+            ]
+        return [
+            Packet(
+                size=sizes[i],
+                flow=self.flow_tuple(i),
+                arrival_ns=arrivals[i],
+                packet_id=ids[i],
+            )
+            for i in range(len(records))
+        ]
+
+    def rss_queues(self, steering) -> np.ndarray:
+        """Vectorised RSS steering: one queue per packet.
+
+        Matches per-packet ``steering.queue_for(packet.flow_key)`` for
+        an :class:`~repro.dpdk.steering.RssSteering` exactly (same
+        hash, same indirection table).
+        """
+        r = self.records
+        return steering.queues_for(
+            r["src_ip"], r["dst_ip"], r["src_port"], r["dst_port"], r["proto"]
+        )

@@ -30,7 +30,12 @@ diff-test:
 	assert r.equal, r.detail; \
 	f = run_fleet_differential(n_servers=2, n_tenants=2, requests=800, warmup=200, n_keys=512); \
 	assert f.equal, f.detail; \
-	print('dataplane-diff: scalar == batched on', r.n_packets, 'packets +', f.n_packets, 'fleet requests')"
+	from repro.faults.plan import plan_for_class; \
+	h = run_fleet_differential(n_servers=3, n_tenants=2, requests=800, warmup=200, n_keys=512, \
+	plan=plan_for_class('fleet-gray', seed=7, intensity=6.0), \
+	healing={'replication': 2, 'detector_enabled': True}); \
+	assert h.equal, h.detail; \
+	print('dataplane-diff: scalar == batched on', r.n_packets, 'packets +', f.n_packets, '+', h.n_packets, 'fleet requests')"
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q -s
@@ -110,8 +115,10 @@ chaos-smoke:
 FLEET_DIR ?= lab-runs/fleet
 
 fleet-smoke:
-	RF_SANITIZE=1 $(PY) -m repro lab run fleet-scale fleet-failover --jobs $(LAB_JOBS) --scale reduced --out $(FLEET_DIR)
+	RF_SANITIZE=1 $(PY) -m repro lab run fleet-scale fleet-failover fleet-availability fleet-durability --jobs $(LAB_JOBS) --scale reduced --out $(FLEET_DIR)
 	$(PY) -m repro fleet replay $(FLEET_DIR)/fleet-failover.json
+	$(PY) -m repro fleet replay $(FLEET_DIR)/fleet-availability.json
+	$(PY) -m repro fleet replay $(FLEET_DIR)/fleet-durability.json
 	$(PY) -m repro lab compare $(FLEET_DIR) tests/golden
 
 clean:

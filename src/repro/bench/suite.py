@@ -164,6 +164,11 @@ def _fleet_scale_work(params: Mapping[str, Any]) -> Dict[str, float]:
     return {"ops": float(params["requests"] * cells)}
 
 
+def _fleet_availability_work(params: Mapping[str, Any]) -> Dict[str, float]:
+    # One self-healing serving cell per chaos intensity point.
+    return {"ops": float(params["requests"] * len(params["intensities"]))}
+
+
 # ----------------------------------------------------------------------
 # Payload metric extractors (model numbers recorded for context)
 # ----------------------------------------------------------------------
@@ -193,6 +198,21 @@ def _fleet_scale_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
         "peak_goodput_mrps": max(c["goodput_mrps"] for c in cells),
         "worst_p99_us": max(
             c["latency_us"]["percentiles"]["p99"] for c in cells
+        ),
+    }
+
+
+def _fleet_availability_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    points = payload["points"]
+    return {
+        "worst_unavailable_fraction": max(
+            p["availability"]["unavailable_fraction"] for p in points
+        ),
+        "total_failovers": float(
+            sum(p["availability"]["failovers"] for p in points)
+        ),
+        "worst_tail_inflation": max(
+            p["recovery"]["tail_inflation"] for p in points
         ),
     }
 
@@ -526,6 +546,37 @@ def default_suite() -> List[BenchEntry]:
             scaled=("requests",),
             work=_fleet_scale_work,
             metrics=_fleet_scale_metrics,
+        ),
+        BenchEntry(
+            name="fleet-availability",
+            title="Self-healing fleet under chaos (replication + detector)",
+            kind="experiment",
+            experiment="fleet-availability",
+            smoke_params={
+                "intensities": [0.0, 6.0],
+                "n_servers": 4,
+                "n_tenants": 2,
+                "requests": 1_500,
+                "warmup": 300,
+                "epoch_requests": 150,
+                "n_keys": 1 << 10,
+                "offered_mrps": 16.0,
+                "engine": "fast",
+            },
+            full_params={
+                "intensities": [0.0, 2.0, 6.0, 8.0],
+                "n_servers": 6,
+                "n_tenants": 4,
+                "requests": 12_000,
+                "warmup": 2_000,
+                "epoch_requests": 500,
+                "n_keys": 1 << 12,
+                "offered_mrps": 16.0,
+                "engine": "fast",
+            },
+            scaled=("requests",),
+            work=_fleet_availability_work,
+            metrics=_fleet_availability_metrics,
         ),
     ]
 

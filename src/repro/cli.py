@@ -452,39 +452,101 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             return _emit_json(fleet_failover_to_dict(result))
         print(format_fleet_failover(result))
         return 0
+    if args.fleet_command == "availability":
+        from repro.experiments.fleet import (
+            fleet_availability_to_dict,
+            format_fleet_availability,
+            run_fleet_availability,
+        )
+
+        result = run_fleet_availability(
+            intensities=args.intensities or None,
+            n_servers=args.servers,
+            n_tenants=args.tenants,
+            requests=args.requests,
+            warmup=args.warmup,
+            n_keys=args.keys,
+            offered_mrps=args.offered,
+            epoch_requests=args.epoch,
+            seed=args.seed,
+        )
+        if args.json:
+            return _emit_json(fleet_availability_to_dict(result))
+        print(format_fleet_availability(result))
+        return 0
+    if args.fleet_command == "durability":
+        from repro.experiments.fleet import (
+            fleet_durability_to_dict,
+            format_fleet_durability,
+            run_fleet_durability,
+        )
+
+        result = run_fleet_durability(
+            replications=args.replications or None,
+            intensities=args.intensities or None,
+            n_servers=args.servers,
+            n_tenants=args.tenants,
+            requests=args.requests,
+            warmup=args.warmup,
+            n_keys=args.keys,
+            offered_mrps=args.offered,
+            epoch_requests=args.epoch,
+            seed=args.seed,
+        )
+        if args.json:
+            return _emit_json(fleet_durability_to_dict(result))
+        print(format_fleet_durability(result))
+        return 0
     return _cmd_fleet_replay(args)
 
 
 def _cmd_fleet_replay(args: argparse.Namespace) -> int:
-    """Re-run a persisted fleet-failover artifact from its own plans.
+    """Re-run a persisted fleet artifact from its own plans.
 
     Same contract as ``repro chaos replay``: the artifact's persisted
     fault plans are fed back (``plans`` override) at the artifact's
     parameters and seed, and the reproduced payload must be
-    bit-identical.
+    bit-identical.  Handles ``fleet-failover``, ``fleet-availability``
+    and ``fleet-durability`` artifacts.
     """
     from pathlib import Path
 
     from repro.experiments.fleet import (
+        fleet_availability_to_dict,
+        fleet_durability_to_dict,
         fleet_failover_to_dict,
+        run_fleet_availability,
+        run_fleet_durability,
         run_fleet_failover,
     )
 
+    replayable = {
+        "fleet-failover": (run_fleet_failover, fleet_failover_to_dict),
+        "fleet-availability": (
+            run_fleet_availability,
+            fleet_availability_to_dict,
+        ),
+        "fleet-durability": (
+            run_fleet_durability,
+            fleet_durability_to_dict,
+        ),
+    }
     artifact = json.loads(Path(args.artifact).read_text())
     name = artifact.get("name")
-    if name != "fleet-failover":
+    if name not in replayable:
         print(
             f"fleet replay: {args.artifact} is a {name!r} artifact, "
-            "not fleet-failover",
+            f"not one of {sorted(replayable)}",
             file=sys.stderr,
         )
         return 2
+    runner, serializer = replayable[name]
     persisted = artifact["result"]
     kwargs = dict(artifact.get("params") or {})
     if artifact.get("seed") is not None:
         kwargs.setdefault("seed", artifact["seed"])
     kwargs["plans"] = persisted["plans"]
-    replayed = fleet_failover_to_dict(run_fleet_failover(**kwargs))
+    replayed = serializer(runner(**kwargs))
     original = json.dumps(persisted, sort_keys=True)
     reproduced = json.dumps(replayed, sort_keys=True)
     if original == reproduced:
@@ -661,7 +723,11 @@ def build_parser() -> argparse.ArgumentParser:
     q.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
-        "fleet", help="cluster-scale serving simulation (scale/failover/replay)"
+        "fleet",
+        help=(
+            "cluster-scale serving simulation "
+            "(scale/failover/availability/durability/replay)"
+        ),
     )
     fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
 
@@ -701,9 +767,52 @@ def build_parser() -> argparse.ArgumentParser:
     q.set_defaults(func=_cmd_fleet)
 
     q = fleet_sub.add_parser(
-        "replay", help="re-run a persisted fleet-failover artifact; verify bit-identity"
+        "availability",
+        help="unavailability/recovery under kill+stall chaos (self-healing)",
     )
-    q.add_argument("artifact", help="fleet-failover.json")
+    q.add_argument(
+        "--intensities", nargs="*", type=float, default=None, help="sweep grid"
+    )
+    q.add_argument("--servers", type=int, default=6, help="fleet size")
+    q.add_argument("--tenants", type=int, default=4, help="tenants")
+    q.add_argument("--requests", type=int, default=20_000, help="requests per point")
+    q.add_argument("--warmup", type=int, default=4_000, help="warmup requests")
+    q.add_argument("--keys", type=int, default=1 << 12, help="keys per tenant")
+    q.add_argument("--offered", type=float, default=16.0, help="offered load (Mrps)")
+    q.add_argument("--epoch", type=int, default=1_000, help="requests per epoch")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--json", action="store_true", help="emit the JSON payload")
+    q.set_defaults(func=_cmd_fleet)
+
+    q = fleet_sub.add_parser(
+        "durability",
+        help="lost keys vs replication factor × permanent-kill intensity",
+    )
+    q.add_argument(
+        "--replications", nargs="*", type=int, default=None, help="R values"
+    )
+    q.add_argument(
+        "--intensities", nargs="*", type=float, default=None, help="sweep grid"
+    )
+    q.add_argument("--servers", type=int, default=5, help="fleet size")
+    q.add_argument("--tenants", type=int, default=2, help="tenants")
+    q.add_argument("--requests", type=int, default=20_000, help="requests per point")
+    q.add_argument("--warmup", type=int, default=4_000, help="warmup requests")
+    q.add_argument("--keys", type=int, default=1 << 12, help="keys per tenant")
+    q.add_argument("--offered", type=float, default=16.0, help="offered load (Mrps)")
+    q.add_argument("--epoch", type=int, default=2_000, help="requests per epoch")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--json", action="store_true", help="emit the JSON payload")
+    q.set_defaults(func=_cmd_fleet)
+
+    q = fleet_sub.add_parser(
+        "replay",
+        help=(
+            "re-run a persisted fleet-failover/availability/durability "
+            "artifact; verify bit-identity"
+        ),
+    )
+    q.add_argument("artifact", help="fleet-*.json artifact")
     q.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(

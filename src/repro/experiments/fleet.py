@@ -508,3 +508,600 @@ def format_fleet_failover(result: FleetFailoverResult) -> str:
             f"| {'never' if rec < 0 else f'{rec} win'}"
         )
     return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# fleet-availability
+# ----------------------------------------------------------------------
+
+#: Intensities the availability sweep covers (0 = fault-free baseline).
+DEFAULT_AVAILABILITY_INTENSITIES = [0.0, 0.5, 1.0, 2.0]
+
+#: Seed offsets keeping each fleet experiment's plan streams disjoint.
+FLEET_AVAILABILITY_SEED_OFFSET = 9_500
+FLEET_DURABILITY_SEED_OFFSET = 9_700
+
+#: The self-healing config the availability sweep runs under: 2-way
+#: replication, the heartbeat detector armed, and queue-lag shedding
+#: so gray-stall backlogs degrade gracefully instead of collapsing.
+DEFAULT_AVAILABILITY_HEALING: Dict[str, Any] = {
+    "replication": 2,
+    "detector_enabled": True,
+    "shed_lag_high_us": 25.0,
+    "shed_lag_low_us": 5.0,
+}
+
+
+def _availability_plan(
+    intensity: float,
+    fault_seed: int,
+    plans: Optional[Mapping[str, Mapping[str, Any]]],
+) -> FaultPlan:
+    """The gray-failure plan for one sweep point (replay wins)."""
+    key = f"{intensity:g}"
+    if plans is not None and key in plans:
+        return resolve_plan(plans[key])
+    return plan_for_class("fleet-gray", seed=fault_seed, intensity=intensity)
+
+
+def _availability_metrics(cell: Mapping[str, Any]) -> Dict[str, Any]:
+    """Unavailability, degraded-mode and detection-lag decomposition."""
+    healing = cell.get("self_healing") or {}
+    counters = healing.get("counters") or {}
+    outcomes = {
+        key: int(counters.get(key, 0))
+        for key in ("served", "rejected", "shed", "unavailable")
+    }
+    total = sum(outcomes.values())
+
+    def fraction(key: str) -> float:
+        return outcomes[key] / total if total else 0.0
+
+    detections = healing.get("detections") or []
+    lags_by_kind: Dict[str, List[int]] = {"kill": [], "stall": []}
+    for event in detections:
+        lag = event.get("lag_epochs")
+        if lag is not None and event.get("kind") in lags_by_kind:
+            lags_by_kind[event["kind"]].append(int(lag))
+    all_lags = lags_by_kind["kill"] + lags_by_kind["stall"]
+
+    def mean(values: List[int]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return {
+        "unavailable_fraction": fraction("unavailable"),
+        "shed_fraction": fraction("shed"),
+        "rejected_fraction": fraction("rejected"),
+        "served_fraction": fraction("served"),
+        "detections": len(detections),
+        "mean_detection_lag_epochs": mean(all_lags),
+        "max_detection_lag_epochs": max(all_lags) if all_lags else 0,
+        "kill_detection_lag_epochs": mean(lags_by_kind["kill"]),
+        "stall_detection_lag_epochs": mean(lags_by_kind["stall"]),
+        "reboots": int(counters.get("reboots", 0)),
+        "rejoins": len(healing.get("rejoins") or []),
+        "failovers": int(counters.get("failovers", 0)),
+    }
+
+
+@dataclass
+class FleetAvailabilityPoint:
+    """One intensity point of the availability sweep."""
+
+    intensity: float
+    cell: Dict[str, Any]
+    availability: Dict[str, Any]
+    recovery: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "intensity": self.intensity,
+            "cell": self.cell,
+            "availability": self.availability,
+            "recovery": self.recovery,
+        }
+
+
+@dataclass
+class FleetAvailabilityResult:
+    """Unavailability/recovery curves vs kill+stall intensity."""
+
+    n_servers: int
+    n_tenants: int
+    intensities: List[float]
+    healing: Dict[str, Any]
+    plans: Dict[str, Dict[str, Any]]
+    points: List[FleetAvailabilityPoint]
+
+
+def run_fleet_availability_point(
+    intensity: float,
+    n_servers: int = 6,
+    n_tenants: int = 4,
+    requests: int = 4000,
+    warmup: int = 800,
+    n_keys: int = 1 << 12,
+    theta: float = 0.99,
+    get_fraction: float = 0.95,
+    offered_mrps: float = 2.0,
+    vnodes: int = 64,
+    epoch_requests: int = 500,
+    tenant_ways: Optional[int] = None,
+    ddio_ways: Optional[int] = None,
+    engine: str = "fast",
+    seed: int = 0,
+    healing: Optional[Mapping[str, Any]] = None,
+    plans: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> FleetAvailabilityPoint:
+    """One independently-runnable availability sweep point."""
+    plan = _availability_plan(
+        intensity, seed + FLEET_AVAILABILITY_SEED_OFFSET, plans
+    )
+    healing_config = dict(
+        healing if healing is not None else DEFAULT_AVAILABILITY_HEALING
+    )
+    result = run_fleet_cell(
+        n_servers=n_servers,
+        n_tenants=n_tenants,
+        requests=requests,
+        warmup=warmup,
+        n_keys=n_keys,
+        theta=theta,
+        get_fraction=get_fraction,
+        offered_mrps=offered_mrps,
+        vnodes=vnodes,
+        epoch_requests=epoch_requests,
+        tenant_ways=tenant_ways,
+        ddio_ways=ddio_ways,
+        engine=engine,
+        seed=seed,
+        plan=plan,
+        healing=healing_config,
+    )
+    cell = result.to_dict()
+    return FleetAvailabilityPoint(
+        intensity=float(intensity),
+        cell=cell,
+        availability=_availability_metrics(cell),
+        recovery=_recovery_metrics(cell),
+    )
+
+
+def run_fleet_availability(
+    intensities: Optional[Sequence[float]] = None,
+    n_servers: int = 6,
+    n_tenants: int = 4,
+    requests: int = 4000,
+    warmup: int = 800,
+    n_keys: int = 1 << 12,
+    theta: float = 0.99,
+    get_fraction: float = 0.95,
+    offered_mrps: float = 2.0,
+    vnodes: int = 64,
+    epoch_requests: int = 500,
+    tenant_ways: Optional[int] = None,
+    ddio_ways: Optional[int] = None,
+    engine: str = "fast",
+    seed: int = 0,
+    healing: Optional[Mapping[str, Any]] = None,
+    plans: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> FleetAvailabilityResult:
+    """Sweep gray-failure intensity under the self-healing loop."""
+    grid = [
+        float(v)
+        for v in (intensities if intensities is not None
+                  else DEFAULT_AVAILABILITY_INTENSITIES)
+    ]
+    healing_config = dict(
+        healing if healing is not None else DEFAULT_AVAILABILITY_HEALING
+    )
+    used_plans = {
+        f"{intensity:g}": _availability_plan(
+            intensity, seed + FLEET_AVAILABILITY_SEED_OFFSET, plans
+        ).to_dict()
+        for intensity in grid
+    }
+    points = [
+        run_fleet_availability_point(
+            intensity,
+            n_servers=n_servers,
+            n_tenants=n_tenants,
+            requests=requests,
+            warmup=warmup,
+            n_keys=n_keys,
+            theta=theta,
+            get_fraction=get_fraction,
+            offered_mrps=offered_mrps,
+            vnodes=vnodes,
+            epoch_requests=epoch_requests,
+            tenant_ways=tenant_ways,
+            ddio_ways=ddio_ways,
+            engine=engine,
+            seed=seed,
+            healing=healing_config,
+            plans=plans,
+        )
+        for intensity in grid
+    ]
+    return FleetAvailabilityResult(
+        n_servers=n_servers,
+        n_tenants=n_tenants,
+        intensities=grid,
+        healing=healing_config,
+        plans=used_plans,
+        points=points,
+    )
+
+
+def assemble_fleet_availability(
+    params: Mapping[str, Any],
+    point_results: Sequence[FleetAvailabilityPoint],
+) -> FleetAvailabilityResult:
+    """Reassemble :func:`run_fleet_availability` from fanned-out points."""
+    grid = [
+        float(v)
+        for v in (
+            params.get("intensities") or DEFAULT_AVAILABILITY_INTENSITIES
+        )
+    ]
+    if len(point_results) != len(grid):
+        raise ValueError(
+            f"expected {len(grid)} points, got {len(point_results)}"
+        )
+    seed = int(params.get("seed", 0))
+    plans = params.get("plans")
+    healing_config = dict(
+        params.get("healing") or DEFAULT_AVAILABILITY_HEALING
+    )
+    used_plans = {
+        f"{intensity:g}": _availability_plan(
+            intensity, seed + FLEET_AVAILABILITY_SEED_OFFSET, plans
+        ).to_dict()
+        for intensity in grid
+    }
+    return FleetAvailabilityResult(
+        n_servers=int(params.get("n_servers", 6)),
+        n_tenants=int(params.get("n_tenants", 4)),
+        intensities=grid,
+        healing=healing_config,
+        plans=used_plans,
+        points=list(point_results),
+    )
+
+
+def fleet_availability_to_dict(
+    result: FleetAvailabilityResult,
+) -> Dict[str, Any]:
+    """JSON-ready form (the persisted availability artifact)."""
+    return {
+        "n_servers": result.n_servers,
+        "n_tenants": result.n_tenants,
+        "intensities": list(result.intensities),
+        "healing": dict(result.healing),
+        "plans": result.plans,
+        "points": [p.to_dict() for p in result.points],
+    }
+
+
+def format_fleet_availability(result: FleetAvailabilityResult) -> str:
+    """Render the availability sweep table."""
+    out = [
+        f"Fleet availability — {result.n_servers} servers × "
+        f"{result.n_tenants} tenants, kill+stall chaos, "
+        f"R={result.healing.get('replication', 1)}"
+    ]
+    out.append(
+        "intensity | unavail |  shed | detect lag | reboots "
+        "| failovers |  goodput"
+    )
+    for point in result.points:
+        availability = point.availability
+        out.append(
+            f"{point.intensity:>9.2f} "
+            f"| {availability['unavailable_fraction']:>6.2%} "
+            f"| {availability['shed_fraction']:>4.1%} "
+            f"| {availability['mean_detection_lag_epochs']:>7.1f}ep "
+            f"| {availability['reboots']:>7d} "
+            f"| {availability['failovers']:>9d} "
+            f"| {point.cell['goodput_mrps']:>5.2f}Mrp"
+        )
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# fleet-durability
+# ----------------------------------------------------------------------
+
+#: Replication factors and kill intensities the durability matrix
+#: covers by default.
+DEFAULT_DURABILITY_REPLICATIONS = [1, 2, 3]
+DEFAULT_DURABILITY_INTENSITIES = [0.0, 1.0, 2.0]
+
+#: Durability points run with the detector armed but no admission —
+#: replication is the variable under test.  The same plan (same seed)
+#: serves every replication factor at a given intensity, so the dead
+#: set is identical across R and lost-key fractions are monotone.
+DEFAULT_DURABILITY_HEALING: Dict[str, Any] = {"detector_enabled": True}
+
+
+def _durability_plan(
+    intensity: float,
+    fault_seed: int,
+    plans: Optional[Mapping[str, Mapping[str, Any]]],
+) -> FaultPlan:
+    """The permanent-kill plan for one intensity (replay wins)."""
+    key = f"{intensity:g}"
+    if plans is not None and key in plans:
+        return resolve_plan(plans[key])
+    return plan_for_class("server-kill", seed=fault_seed, intensity=intensity)
+
+
+@dataclass
+class FleetDurabilityPoint:
+    """One (replication, intensity) cell of the durability matrix."""
+
+    replication: int
+    intensity: float
+    lost_key_fraction: float
+    kills: int
+    alive_at_end: int
+    unavailable_fraction: float
+    cell: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "replication": self.replication,
+            "intensity": self.intensity,
+            "lost_key_fraction": self.lost_key_fraction,
+            "kills": self.kills,
+            "alive_at_end": self.alive_at_end,
+            "unavailable_fraction": self.unavailable_fraction,
+            "cell": self.cell,
+        }
+
+
+@dataclass
+class FleetDurabilityResult:
+    """Lost-key fraction vs replication factor × kill intensity."""
+
+    n_servers: int
+    n_tenants: int
+    replications: List[int]
+    intensities: List[float]
+    healing: Dict[str, Any]
+    plans: Dict[str, Dict[str, Any]]
+    points: List[FleetDurabilityPoint]
+
+    def point(
+        self, replication: int, intensity: float
+    ) -> FleetDurabilityPoint:
+        """The cell for one (R, intensity) pair."""
+        row = self.replications.index(replication)
+        col = self.intensities.index(intensity)
+        return self.points[row * len(self.intensities) + col]
+
+
+def run_fleet_durability_point(
+    replication: int,
+    intensity: float,
+    n_servers: int = 5,
+    n_tenants: int = 2,
+    requests: int = 4000,
+    warmup: int = 800,
+    n_keys: int = 1 << 12,
+    theta: float = 0.99,
+    get_fraction: float = 0.95,
+    offered_mrps: float = 2.0,
+    vnodes: int = 64,
+    epoch_requests: int = 500,
+    tenant_ways: Optional[int] = None,
+    ddio_ways: Optional[int] = None,
+    engine: str = "fast",
+    seed: int = 0,
+    healing: Optional[Mapping[str, Any]] = None,
+    plans: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> FleetDurabilityPoint:
+    """One independently-runnable durability matrix cell.
+
+    The plan depends only on *intensity* (never on *replication*), so
+    every R value faces the identical kill schedule.
+    """
+    plan = _durability_plan(
+        intensity, seed + FLEET_DURABILITY_SEED_OFFSET, plans
+    )
+    base = dict(healing if healing is not None else DEFAULT_DURABILITY_HEALING)
+    base["replication"] = int(replication)
+    result = run_fleet_cell(
+        n_servers=n_servers,
+        n_tenants=n_tenants,
+        requests=requests,
+        warmup=warmup,
+        n_keys=n_keys,
+        theta=theta,
+        get_fraction=get_fraction,
+        offered_mrps=offered_mrps,
+        vnodes=vnodes,
+        epoch_requests=epoch_requests,
+        tenant_ways=tenant_ways,
+        ddio_ways=ddio_ways,
+        engine=engine,
+        seed=seed,
+        plan=plan,
+        healing=base,
+    )
+    cell = result.to_dict()
+    healing_payload = cell.get("self_healing") or {}
+    counters = healing_payload.get("counters") or {}
+    outcomes = sum(
+        int(counters.get(key, 0))
+        for key in ("served", "rejected", "shed", "unavailable")
+    )
+    return FleetDurabilityPoint(
+        replication=int(replication),
+        intensity=float(intensity),
+        lost_key_fraction=float(
+            healing_payload.get("lost_key_fraction", 0.0)
+        ),
+        kills=len(cell["kills"]),
+        alive_at_end=int(cell["alive_at_end"]),
+        unavailable_fraction=(
+            int(counters.get("unavailable", 0)) / outcomes
+            if outcomes
+            else 0.0
+        ),
+        cell=cell,
+    )
+
+
+def run_fleet_durability(
+    replications: Optional[Sequence[int]] = None,
+    intensities: Optional[Sequence[float]] = None,
+    n_servers: int = 5,
+    n_tenants: int = 2,
+    requests: int = 4000,
+    warmup: int = 800,
+    n_keys: int = 1 << 12,
+    theta: float = 0.99,
+    get_fraction: float = 0.95,
+    offered_mrps: float = 2.0,
+    vnodes: int = 64,
+    epoch_requests: int = 500,
+    tenant_ways: Optional[int] = None,
+    ddio_ways: Optional[int] = None,
+    engine: str = "fast",
+    seed: int = 0,
+    healing: Optional[Mapping[str, Any]] = None,
+    plans: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> FleetDurabilityResult:
+    """Sweep replication factor × permanent-kill intensity."""
+    replication_grid = [
+        int(v)
+        for v in (replications if replications is not None
+                  else DEFAULT_DURABILITY_REPLICATIONS)
+    ]
+    intensity_grid = [
+        float(v)
+        for v in (intensities if intensities is not None
+                  else DEFAULT_DURABILITY_INTENSITIES)
+    ]
+    base = dict(healing if healing is not None else DEFAULT_DURABILITY_HEALING)
+    used_plans = {
+        f"{intensity:g}": _durability_plan(
+            intensity, seed + FLEET_DURABILITY_SEED_OFFSET, plans
+        ).to_dict()
+        for intensity in intensity_grid
+    }
+    points = [
+        run_fleet_durability_point(
+            replication,
+            intensity,
+            n_servers=n_servers,
+            n_tenants=n_tenants,
+            requests=requests,
+            warmup=warmup,
+            n_keys=n_keys,
+            theta=theta,
+            get_fraction=get_fraction,
+            offered_mrps=offered_mrps,
+            vnodes=vnodes,
+            epoch_requests=epoch_requests,
+            tenant_ways=tenant_ways,
+            ddio_ways=ddio_ways,
+            engine=engine,
+            seed=seed,
+            healing=base,
+            plans=plans,
+        )
+        for replication in replication_grid
+        for intensity in intensity_grid
+    ]
+    return FleetDurabilityResult(
+        n_servers=n_servers,
+        n_tenants=n_tenants,
+        replications=replication_grid,
+        intensities=intensity_grid,
+        healing=base,
+        plans=used_plans,
+        points=points,
+    )
+
+
+def assemble_fleet_durability(
+    params: Mapping[str, Any],
+    point_results: Sequence[FleetDurabilityPoint],
+) -> FleetDurabilityResult:
+    """Reassemble :func:`run_fleet_durability` from fanned-out points.
+
+    ``point_results`` must be ordered like the lab split generates
+    them: replications outer, intensities inner.
+    """
+    replication_grid = [
+        int(v)
+        for v in (
+            params.get("replications") or DEFAULT_DURABILITY_REPLICATIONS
+        )
+    ]
+    intensity_grid = [
+        float(v)
+        for v in (
+            params.get("intensities") or DEFAULT_DURABILITY_INTENSITIES
+        )
+    ]
+    expected = len(replication_grid) * len(intensity_grid)
+    if len(point_results) != expected:
+        raise ValueError(
+            f"expected {expected} points, got {len(point_results)}"
+        )
+    seed = int(params.get("seed", 0))
+    plans = params.get("plans")
+    used_plans = {
+        f"{intensity:g}": _durability_plan(
+            intensity, seed + FLEET_DURABILITY_SEED_OFFSET, plans
+        ).to_dict()
+        for intensity in intensity_grid
+    }
+    return FleetDurabilityResult(
+        n_servers=int(params.get("n_servers", 5)),
+        n_tenants=int(params.get("n_tenants", 2)),
+        replications=replication_grid,
+        intensities=intensity_grid,
+        healing=dict(params.get("healing") or DEFAULT_DURABILITY_HEALING),
+        plans=used_plans,
+        points=list(point_results),
+    )
+
+
+def fleet_durability_to_dict(result: FleetDurabilityResult) -> Dict[str, Any]:
+    """JSON-ready form (the persisted durability artifact)."""
+    return {
+        "n_servers": result.n_servers,
+        "n_tenants": result.n_tenants,
+        "replications": list(result.replications),
+        "intensities": list(result.intensities),
+        "healing": dict(result.healing),
+        "plans": result.plans,
+        "points": [p.to_dict() for p in result.points],
+    }
+
+
+def format_fleet_durability(result: FleetDurabilityResult) -> str:
+    """Render the lost-key matrix (rows = R, columns = intensity)."""
+    out = [
+        f"Fleet durability — {result.n_servers} servers × "
+        f"{result.n_tenants} tenants, permanent kills"
+    ]
+    header = "    R | " + " | ".join(
+        f"x={intensity:g} lost (kills)" for intensity in result.intensities
+    )
+    out.append(header)
+    for replication in result.replications:
+        cells = []
+        for intensity in result.intensities:
+            point = result.point(replication, intensity)
+            cells.append(
+                f"{point.lost_key_fraction:>8.2%} ({point.kills})"
+            )
+        out.append(f"{replication:>5d} | " + " | ".join(cells))
+    return "\n".join(out)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import zlib
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +63,19 @@ PROBABILITY_FIELDS = (
     "kvs_fail",
     "kvs_slow",
     "server_kill",
+    "server_stall",
+)
+
+#: Self-healing fleet fields (PR 10).  They serialise only when they
+#: differ from their defaults so pre-existing persisted plans — and the
+#: fleet/chaos golden baselines that embed them — stay byte-identical.
+SELF_HEALING_FIELDS = (
+    "server_stall",
+    "server_stall_factor",
+    "server_stall_epochs_min",
+    "server_stall_epochs_max",
+    "server_recovery_epochs_min",
+    "server_recovery_epochs_max",
 )
 
 
@@ -105,6 +118,20 @@ class FaultRates:
     #: Whole fleet server dies and leaves the ring (per server, per
     #: traffic epoch — site ``fleet.server_kill``).
     server_kill: float = 0.0
+    #: Fleet server turns gray — alive but slow — for a drawn number of
+    #: epochs (per server, per epoch — site ``fleet.server_stall``).
+    server_stall: float = 0.0
+    #: Service-time multiplier while a server is stalled.
+    server_stall_factor: float = 8.0
+    #: Stall duration in epochs, drawn from ``[min, max]`` (inclusive,
+    #: site ``fleet.server_stall_epochs``).
+    server_stall_epochs_min: int = 1
+    server_stall_epochs_max: int = 4
+    #: Epochs a killed server stays down before rebooting cold, drawn
+    #: from ``[min, max]`` (site ``fleet.server_recovery``); ``max`` of
+    #: 0 keeps kills permanent (the pre-self-healing behaviour).
+    server_recovery_epochs_min: int = 0
+    server_recovery_epochs_max: int = 0
 
     def __post_init__(self) -> None:
         for name in PROBABILITY_FIELDS:
@@ -123,6 +150,22 @@ class FaultRates:
         if self.mempool_exhaust_allocs_max < self.mempool_exhaust_allocs_min:
             raise ValueError(
                 "mempool_exhaust_allocs_max must be >= mempool_exhaust_allocs_min"
+            )
+        if self.server_stall_factor < 1.0:
+            raise ValueError(
+                f"server_stall_factor must be >= 1, got {self.server_stall_factor}"
+            )
+        if self.server_stall_epochs_min < 1:
+            raise ValueError("server_stall_epochs_min must be >= 1")
+        if self.server_stall_epochs_max < self.server_stall_epochs_min:
+            raise ValueError(
+                "server_stall_epochs_max must be >= server_stall_epochs_min"
+            )
+        if self.server_recovery_epochs_min < 0:
+            raise ValueError("server_recovery_epochs_min must be >= 0")
+        if self.server_recovery_epochs_max < self.server_recovery_epochs_min:
+            raise ValueError(
+                "server_recovery_epochs_max must be >= server_recovery_epochs_min"
             )
 
     @property
@@ -148,8 +191,19 @@ class FaultRates:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-ready form (every field, defaults included)."""
-        return asdict(self)
+        """JSON-ready form.
+
+        Every pre-self-healing field is emitted, defaults included;
+        the :data:`SELF_HEALING_FIELDS` appear only when they differ
+        from their defaults, so plans that never touch the fleet
+        self-healing sites serialise byte-identically to the format
+        the existing goldens embed.
+        """
+        data = asdict(self)
+        for name in SELF_HEALING_FIELDS:
+            if data[name] == _FIELD_DEFAULTS[name]:
+                del data[name]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "FaultRates":
@@ -159,6 +213,13 @@ class FaultRates:
         if unknown:
             raise ValueError(f"unknown FaultRates fields: {sorted(unknown)}")
         return cls(**data)  # type: ignore[arg-type]
+
+
+#: Field-name → declared default, for the conditional serialisation of
+#: the self-healing fields above.
+_FIELD_DEFAULTS: Dict[str, object] = {
+    f.name: f.default for f in fields(FaultRates)
+}
 
 
 @dataclass(frozen=True)
@@ -276,6 +337,23 @@ class FaultClock(object):
         """*count* uniform draws at *site* (bulk transforms)."""
         return self.stream(site).random(count)
 
+    def uniform_grid(
+        self, site: str, shape: Tuple[int, ...]
+    ) -> np.ndarray:
+        """A uniform grid at *site* (e.g. epochs × servers).
+
+        The draw count depends only on *shape*, never on which cells
+        end up firing — the nested-sampling construction the fleet
+        outage schedule relies on for monotone lost-key curves.
+        """
+        return self.stream(site).random(shape)
+
+    def integer_grid(
+        self, site: str, low: int, high: int, shape: Tuple[int, ...]
+    ) -> np.ndarray:
+        """An integer grid in ``[low, high)`` at *site* (magnitudes)."""
+        return self.stream(site).integers(low, high, size=shape)
+
     def count(self, name: str, n: int = 1) -> None:
         """Record *n* occurrences of *name* in the structured counters."""
         self.stats.bump(name, n)
@@ -311,6 +389,13 @@ FAULT_CLASSES: Dict[str, FaultRates] = {
     "nf-stall": FaultRates(nf_stall=0.002),
     "kvs": FaultRates(kvs_fail=0.01, kvs_slow=0.05),
     "server-kill": FaultRates(server_kill=0.02),
+    "server-stall": FaultRates(server_stall=0.04),
+    "fleet-gray": FaultRates(
+        server_kill=0.01,
+        server_stall=0.03,
+        server_recovery_epochs_min=2,
+        server_recovery_epochs_max=5,
+    ),
     "mixed": _mixed_rates(),
 }
 

@@ -143,3 +143,88 @@ def apply_bulk_faults(
         service_ns=out_service,
         goodput=goodput,
     )
+
+
+@dataclass
+class OutageSchedule:
+    """Pre-drawn whole-server outage decisions for one fleet cell.
+
+    Every grid is ``(n_epochs, n_servers)`` and every cell is drawn
+    whether or not it can fire (a kill decision for an already-dead
+    server is a no-op), so the fire sets are intensity-supersets under
+    a fixed plan seed — the same nested-sampling construction
+    :func:`apply_bulk_faults` uses, lifted to whole servers.  That is
+    what makes the ``fleet-durability`` lost-key curves monotone in
+    kill intensity.
+
+    Row 0 is drawn but never applied: outages begin at the first epoch
+    *boundary* (epoch 1), matching the legacy per-epoch kill loop.
+    """
+
+    n_epochs: int
+    n_servers: int
+    kill_fires: np.ndarray       # bool  (n_epochs, n_servers)
+    stall_fires: np.ndarray      # bool  (n_epochs, n_servers)
+    stall_epochs: np.ndarray     # int64 durations, valid where stall fires
+    recovery_epochs: np.ndarray  # int64 reboot delays; 0 = permanent kill
+
+    @property
+    def any_outages(self) -> bool:
+        """Whether any kill or stall can fire under this schedule."""
+        return bool(self.kill_fires.any() or self.stall_fires.any())
+
+
+def draw_outage_schedule(
+    clock: FaultClock, n_epochs: int, n_servers: int
+) -> OutageSchedule:
+    """Draw the full kill/stall/recovery schedule for one fleet cell.
+
+    All randomness flows through the clock's dedicated per-site
+    streams (``fleet.server_kill``, ``fleet.server_stall``,
+    ``fleet.server_stall_epochs``, ``fleet.server_recovery``); sites
+    whose rates are zero draw nothing, so an all-zero plan leaves
+    every stream untouched.  Magnitude grids (durations, delays) are
+    drawn alongside their probability grids so the values a firing
+    cell uses do not shift as intensity scales the fire sets.
+    """
+    if n_epochs <= 0 or n_servers <= 0:
+        raise ValueError(
+            f"need positive grid, got {n_epochs} epochs × {n_servers} servers"
+        )
+    rates = clock.rates
+    shape = (n_epochs, n_servers)
+    kill_fires = np.zeros(shape, dtype=bool)
+    stall_fires = np.zeros(shape, dtype=bool)
+    stall_epochs = np.zeros(shape, dtype=np.int64)
+    recovery_epochs = np.zeros(shape, dtype=np.int64)
+    if rates.server_kill > 0.0:
+        kill_fires = (
+            clock.uniform_grid("fleet.server_kill", shape)
+            < rates.server_kill
+        )
+        if rates.server_recovery_epochs_max > 0:
+            recovery_epochs = clock.integer_grid(
+                "fleet.server_recovery",
+                rates.server_recovery_epochs_min,
+                rates.server_recovery_epochs_max + 1,
+                shape,
+            )
+    if rates.server_stall > 0.0:
+        stall_fires = (
+            clock.uniform_grid("fleet.server_stall", shape)
+            < rates.server_stall
+        )
+        stall_epochs = clock.integer_grid(
+            "fleet.server_stall_epochs",
+            rates.server_stall_epochs_min,
+            rates.server_stall_epochs_max + 1,
+            shape,
+        )
+    return OutageSchedule(
+        n_epochs=n_epochs,
+        n_servers=n_servers,
+        kill_fires=kill_fires,
+        stall_fires=stall_fires,
+        stall_epochs=stall_epochs,
+        recovery_epochs=recovery_epochs,
+    )

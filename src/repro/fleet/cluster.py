@@ -100,15 +100,56 @@ class FleetCluster:
         """Servers still on the ring, in id order."""
         return [server for server in self.servers if server.alive]
 
-    def kill_server(self, name: str, request_index: int) -> None:
-        """Remove one server from service (chaos or operator action)."""
+    def server(self, name: str) -> FleetServer:
+        """Look up one server by ring name."""
+        return self._by_name[name]
+
+    def kill_server(
+        self, name: str, request_index: int, allow_last: bool = False
+    ) -> None:
+        """Remove one server from service (chaos or operator action).
+
+        The legacy fleet must keep serving, so killing the last alive
+        server is refused unless *allow_last* — the self-healing path
+        sets it because total outage is a well-defined (and measured)
+        state there: requests simply find no live replica.
+        """
         server = self._by_name[name]
         if not server.alive:
             raise ValueError(f"{name} is already dead")
-        if len(self.alive_servers) <= 1:
+        if not allow_last and len(self.alive_servers) <= 1:
             raise ValueError("cannot kill the last alive server")
         server.kill(request_index)
         self.ring.remove_node(name)
+
+    def stall_server(self, name: str, until_epoch: int) -> None:
+        """Turn one server gray (slow) until *until_epoch*.
+
+        Same last-server guard as :meth:`kill_server`: a stall on the
+        only alive server would leave the fleet with no healthy
+        capacity at all, so it is refused.
+        """
+        server = self._by_name[name]
+        if not server.alive:
+            raise ValueError(f"cannot stall {name}: already dead")
+        if len(self.alive_servers) <= 1:
+            raise ValueError("cannot stall the last alive server")
+        server.stall(until_epoch)
+
+    def depart_ring(self, name: str) -> None:
+        """Take a server out of routing (suspicion or death)."""
+        if name in self.ring:
+            self.ring.remove_node(name)
+
+    def rejoin_ring(self, name: str) -> None:
+        """Return a server to routing.
+
+        Virtual-node positions are a pure function of the name, so a
+        rejoining server reclaims its exact original ring segments —
+        only the keys that failed over during the outage remap back.
+        """
+        if name not in self.ring:
+            self.ring.add_node(name)
 
     def route_epoch(self, batch: TrafficBatch) -> List[FleetServer]:
         """Owning server per request under the current membership."""
@@ -153,6 +194,10 @@ class FleetRunResult:
     kills: List[FleetKillEvent] = field(default_factory=list)
     alive_at_end: int = 0
     fault_counters: Optional[Dict[str, int]] = None
+    #: Self-healing telemetry (detector/replication/admission); only
+    #: emitted when the healing layer ran, so legacy payloads — and the
+    #: goldens that embed them — are byte-for-byte unchanged.
+    self_healing: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (the persisted cell payload)."""
@@ -173,6 +218,8 @@ class FleetRunResult:
         }
         if self.fault_counters is not None:
             payload["fault_counters"] = self.fault_counters
+        if self.self_healing is not None:
+            payload["self_healing"] = self.self_healing
         return payload
 
 
@@ -193,6 +240,7 @@ def run_fleet_cell(
     seed: int = 0,
     plan: Optional[object] = None,
     dataplane: str = "scalar",
+    healing: Optional[object] = None,
 ) -> FleetRunResult:
     """Simulate one fleet shape under one (optional) fault plan.
 
@@ -208,7 +256,39 @@ def run_fleet_cell(
     (:meth:`FleetServer.serve_batch`) — results are bit-identical
     because routing, queueing and kill draws never depend on cache
     timing.
+
+    ``healing`` — a :class:`~repro.fleet.healing.SelfHealingConfig` or
+    its dict form — switches the cell to the self-healing serving loop
+    (replication, failure detection, recovery, admission control).
+    ``None`` or a trivial config (R=1, detector off, admission off)
+    keeps this legacy loop, which stays bit-identical to every run
+    before the healing layer existed.
     """
+    from repro.fleet.healing import resolve_healing
+
+    resolved_healing = resolve_healing(healing)
+    if resolved_healing is not None:
+        from repro.fleet.healing import run_healing_cell
+
+        return run_healing_cell(
+            n_servers=n_servers,
+            n_tenants=n_tenants,
+            requests=requests,
+            warmup=warmup,
+            n_keys=n_keys,
+            theta=theta,
+            get_fraction=get_fraction,
+            offered_mrps=offered_mrps,
+            vnodes=vnodes,
+            epoch_requests=epoch_requests,
+            tenant_ways=tenant_ways,
+            ddio_ways=ddio_ways,
+            engine=engine,
+            seed=seed,
+            plan=plan,
+            dataplane=dataplane,
+            healing=resolved_healing,
+        )
     if dataplane not in ("scalar", "batched"):
         raise ValueError(
             f"dataplane must be 'scalar' or 'batched', got {dataplane!r}"

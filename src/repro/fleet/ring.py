@@ -148,6 +148,22 @@ class ConsistentHashRing:
         One vectorised clockwise walk: the first virtual node at or
         after each position, wrapping past the top of the ring.
         """
+        return self._ring_owners[self.slot_positions(positions)]
+
+    def node_for(self, tenant: int, key: int) -> str:
+        """The server owning one ``(tenant, key)`` pair."""
+        owner = int(self.route_positions(key_positions(tenant, key))[()])
+        return self._nodes[owner]
+
+    # -- replication ---------------------------------------------------
+
+    def slot_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Virtual-node slot index per ring position (bulk).
+
+        The slot is where the clockwise walk *starts*; feed it to
+        :meth:`successors_at` to expand a replica set without
+        re-searching the ring.
+        """
         if not self._nodes:
             raise RuntimeError("cannot route on an empty ring")
         slots = np.searchsorted(
@@ -155,12 +171,48 @@ class ConsistentHashRing:
             side="left",
         )
         slots %= len(self._ring_positions)
-        return self._ring_owners[slots]
+        return slots
 
-    def node_for(self, tenant: int, key: int) -> str:
-        """The server owning one ``(tenant, key)`` pair."""
-        owner = int(self.route_positions(key_positions(tenant, key))[()])
-        return self._nodes[owner]
+    def successors_at(self, slot: int, count: int) -> List[int]:
+        """The first *count* distinct owners clockwise from *slot*.
+
+        Returns owner indices (into :attr:`nodes`) in walk order.  By
+        construction the result for ``count`` is a prefix of the
+        result for ``count + 1`` — replica sets nest, which is what
+        makes lost-key fractions monotone in the replication factor.
+        Fewer than *count* members yields every member once.
+        """
+        if not self._nodes:
+            raise RuntimeError("cannot route on an empty ring")
+        want = min(count, len(self._nodes))
+        n_slots = len(self._ring_positions)
+        owners: List[int] = []
+        seen = set()
+        for offset in range(n_slots):
+            owner = int(self._ring_owners[(slot + offset) % n_slots])
+            if owner not in seen:
+                seen.add(owner)
+                owners.append(owner)
+                if len(owners) == want:
+                    break
+        return owners
+
+    def replicas_for(
+        self, tenant: int, key: int, replication: int
+    ) -> List[str]:
+        """The *replication* distinct servers replicating one pair.
+
+        The first entry is the primary (the :meth:`node_for` owner);
+        the rest are its next-distinct-server ring successors.
+        """
+        if replication <= 0:
+            raise ValueError(
+                f"replication must be positive, got {replication}"
+            )
+        slot = int(
+            self.slot_positions(key_positions(tenant, key).reshape(1))[0]
+        )
+        return [self._nodes[i] for i in self.successors_at(slot, replication)]
 
     def owners_for_keys(
         self, tenants: np.ndarray, keys: np.ndarray

@@ -94,30 +94,60 @@ class FleetServer:
                 f"got {tenant_ways}"
             )
         self.tenant_ways = tenant_ways
-        cat = CatController(self.spec.llc_ways, self.spec.n_cores)
         self.tenant_cores: List[int] = [
             t % self.spec.n_cores for t in range(n_tenants)
         ]
+        self._n_keys = n_keys
+        self._seed = seed
+        self._ddio_ways = ddio_ways
+        self._engine = engine
+        self._provision()
+        #: Simulated time (cycles) this server is busy until.
+        self.busy_until_cycles = 0.0
+        #: Chaos state: a killed server leaves the ring permanently —
+        #: unless the plan arms recovery, in which case it reboots
+        #: cold after ``down_until_epoch``.
+        self.alive = True
+        self.killed_at_request: Optional[int] = None
+        self.served = 0
+        #: Self-healing state (epoch-indexed; -1 = inactive).
+        self.stalled_until_epoch = -1
+        self.down_until_epoch = -1
+        self.reboots = 0
+        self.stall_events = 0
+        self.rebooted_at_request: Optional[int] = None
+
+    def _provision(self) -> None:
+        """Build the machine: hierarchy, CAT budgets, per-tenant KVS.
+
+        Runs at construction and again on :meth:`reboot` — a recovered
+        server gets brand-new hierarchy/store state, so its caches are
+        genuinely cold and the post-rejoin re-warm is real simulated
+        work, not bookkeeping.
+        """
+        cat = CatController(self.spec.llc_ways, self.spec.n_cores)
         # Contiguous per-tenant way masks; when budgets exceed the
         # cache (many tenants), masks wrap and overlap deterministically
         # — oversubscription is then visible as real contention.
-        span = self.spec.llc_ways - tenant_ways + 1
-        for tenant in range(n_tenants):
-            low = (tenant * tenant_ways) % span
-            cat.define_clos(tenant + 1, ((1 << tenant_ways) - 1) << low)
+        span = self.spec.llc_ways - self.tenant_ways + 1
+        for tenant in range(self.n_tenants):
+            low = (tenant * self.tenant_ways) % span
+            cat.define_clos(
+                tenant + 1, ((1 << self.tenant_ways) - 1) << low
+            )
             cat.assign_core(self.tenant_cores[tenant], tenant + 1)
         hierarchy = build_hierarchy(
-            self.spec, ddio_ways=ddio_ways, cat=cat, seed=seed
+            self.spec, ddio_ways=self._ddio_ways, cat=cat, seed=self._seed
         )
         self.context = SliceAwareContext(
-            self.spec, hierarchy=hierarchy, seed=seed
+            self.spec, hierarchy=hierarchy, seed=self._seed
         )
         self._tenants: List[KvsServer] = []
-        for tenant in range(n_tenants):
+        for tenant in range(self.n_tenants):
             store = KvsStore(
                 self.context,
                 core=self.tenant_cores[tenant],
-                n_keys=n_keys,
+                n_keys=self._n_keys,
                 slice_aware=True,
             )
             self._tenants.append(
@@ -125,15 +155,9 @@ class FleetServer:
                     self.context,
                     store,
                     core=self.tenant_cores[tenant],
-                    engine=engine,
+                    engine=self._engine,
                 )
             )
-        #: Simulated time (cycles) this server is busy until.
-        self.busy_until_cycles = 0.0
-        #: Chaos state: a killed server leaves the ring permanently.
-        self.alive = True
-        self.killed_at_request: Optional[int] = None
-        self.served = 0
 
     def serve(self, tenant: int, key: int, is_get: bool) -> int:
         """Serve one request for *tenant*; returns core cycles spent."""
@@ -189,14 +213,46 @@ class FleetServer:
         """Mark this server dead (chaos server-kill fault)."""
         self.alive = False
         self.killed_at_request = request_index
+        self.stalled_until_epoch = -1
+
+    def stall(self, until_epoch: int) -> None:
+        """Turn gray: alive but slow until *until_epoch* (exclusive)."""
+        self.stalled_until_epoch = until_epoch
+        self.stall_events += 1
+
+    def stalled_at(self, epoch: int) -> bool:
+        """Whether this server is stalled during *epoch*."""
+        return self.alive and epoch < self.stalled_until_epoch
+
+    def reboot(self, request_index: int) -> None:
+        """Recover from a kill: rejoin service with cold caches.
+
+        Re-provisions the hierarchy and every tenant's KVS from
+        scratch (same seed, so the layout is deterministic) — the
+        first requests after recovery pay genuine cold-cache misses
+        until the working set re-warms.
+        """
+        self._provision()
+        self.alive = True
+        self.killed_at_request = None
+        self.busy_until_cycles = 0.0
+        self.stalled_until_epoch = -1
+        self.down_until_epoch = -1
+        self.reboots += 1
+        self.rebooted_at_request = request_index
 
     def latency_us(self, cycles: float) -> float:
         """Convert cycles on this server's clock to microseconds."""
         return cycles / (self.spec.freq_ghz * 1e3)
 
     def stats(self) -> Dict[str, object]:
-        """JSON-ready per-server summary."""
-        return {
+        """JSON-ready per-server summary.
+
+        Self-healing keys (``reboots``, ``stalls``) appear only when
+        non-zero so runs that never arm those faults keep the exact
+        payload the pre-self-healing goldens embed.
+        """
+        data: Dict[str, object] = {
             "name": self.name,
             "machine": self.spec.name,
             "alive": self.alive,
@@ -204,6 +260,11 @@ class FleetServer:
             "tenant_ways": self.tenant_ways,
             "killed_at_request": self.killed_at_request,
         }
+        if self.reboots:
+            data["reboots"] = self.reboots
+        if self.stall_events:
+            data["stalls"] = self.stall_events
+        return data
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "dead"

@@ -210,6 +210,14 @@ _GOLDEN_ADAPTERS = {
         "fleet-failover",
         ("intensities", "plans", "points"),
     ),
+    "fleet_availability.json": (
+        "fleet-availability",
+        ("intensities", "healing", "plans", "points"),
+    ),
+    "fleet_durability.json": (
+        "fleet-durability",
+        ("replications", "intensities", "healing", "plans", "points"),
+    ),
 }
 
 

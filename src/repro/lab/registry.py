@@ -159,6 +159,53 @@ def _fleet_failover_merge(
     return assemble_fleet_failover(params, list(results))
 
 
+def _fleet_availability_tasks(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """One task per intensity point of the availability sweep."""
+    from repro.experiments.fleet import DEFAULT_AVAILABILITY_INTENSITIES
+
+    base = dict(params)
+    grid = base.pop("intensities", None)
+    grid = [float(v) for v in (grid or DEFAULT_AVAILABILITY_INTENSITIES)]
+    return [dict(base, intensity=intensity) for intensity in grid]
+
+
+def _fleet_availability_merge(
+    params: Mapping[str, Any], results: Sequence[Any]
+) -> Any:
+    from repro.experiments.fleet import assemble_fleet_availability
+
+    return assemble_fleet_availability(params, list(results))
+
+
+def _fleet_durability_tasks(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """One task per (replication, intensity) cell of the matrix."""
+    from repro.experiments.fleet import (
+        DEFAULT_DURABILITY_INTENSITIES,
+        DEFAULT_DURABILITY_REPLICATIONS,
+    )
+
+    base = dict(params)
+    replications = base.pop("replications", None)
+    replications = [
+        int(v) for v in (replications or DEFAULT_DURABILITY_REPLICATIONS)
+    ]
+    grid = base.pop("intensities", None)
+    grid = [float(v) for v in (grid or DEFAULT_DURABILITY_INTENSITIES)]
+    return [
+        dict(base, replication=replication, intensity=intensity)
+        for replication in replications
+        for intensity in grid
+    ]
+
+
+def _fleet_durability_merge(
+    params: Mapping[str, Any], results: Sequence[Any]
+) -> Any:
+    from repro.experiments.fleet import assemble_fleet_durability
+
+    return assemble_fleet_durability(params, list(results))
+
+
 # ----------------------------------------------------------------------
 # Registry construction
 # ----------------------------------------------------------------------
@@ -186,8 +233,14 @@ def _build() -> Registry:
         run_degradation_point,
     )
     from repro.experiments.fleet import (
+        fleet_availability_to_dict,
+        fleet_durability_to_dict,
         fleet_failover_to_dict,
         fleet_scale_to_dict,
+        run_fleet_availability,
+        run_fleet_availability_point,
+        run_fleet_durability,
+        run_fleet_durability_point,
         run_fleet_failover,
         run_fleet_failover_point,
         run_fleet_scale,
@@ -603,6 +656,74 @@ def _build() -> Registry:
             task_runner=run_fleet_failover_point,
             make_tasks=_fleet_failover_tasks,
             merge=_fleet_failover_merge,
+        ),
+        tags=("fleet",),
+    ))
+    registry.register(ExperimentSpec(
+        name="fleet-availability",
+        title="Fleet — unavailability and recovery under kill+stall chaos",
+        runner=run_fleet_availability,
+        serializer=fleet_availability_to_dict,
+        default_params={
+            "intensities": [0.0, 2.0, 4.0, 6.0, 8.0],
+            "n_servers": 6,
+            "n_tenants": 4,
+            "requests": 150_000,
+            "warmup": 25_000,
+            "epoch_requests": 7_500,
+            "offered_mrps": 16.0,
+            "engine": "fast",
+        },
+        reduced_params={
+            "intensities": [0.0, 2.0, 6.0, 8.0],
+            "n_servers": 4,
+            "n_tenants": 2,
+            "requests": 2400,
+            "warmup": 600,
+            "epoch_requests": 200,
+            "n_keys": 1 << 10,
+            "offered_mrps": 16.0,
+            "engine": "fast",
+        },
+        split=SplitSpec(
+            task_runner=run_fleet_availability_point,
+            make_tasks=_fleet_availability_tasks,
+            merge=_fleet_availability_merge,
+        ),
+        tags=("fleet",),
+    ))
+    registry.register(ExperimentSpec(
+        name="fleet-durability",
+        title="Fleet — lost keys vs replication factor × kill intensity",
+        runner=run_fleet_durability,
+        serializer=fleet_durability_to_dict,
+        default_params={
+            "replications": [1, 2, 3],
+            "intensities": [0.0, 1.0, 2.0],
+            "n_servers": 5,
+            "n_tenants": 2,
+            "requests": 150_000,
+            "warmup": 25_000,
+            "epoch_requests": 12_500,
+            "offered_mrps": 16.0,
+            "engine": "fast",
+        },
+        reduced_params={
+            "replications": [1, 2, 3],
+            "intensities": [0.0, 1.0, 2.0],
+            "n_servers": 4,
+            "n_tenants": 2,
+            "requests": 2400,
+            "warmup": 600,
+            "epoch_requests": 300,
+            "n_keys": 1 << 10,
+            "offered_mrps": 16.0,
+            "engine": "fast",
+        },
+        split=SplitSpec(
+            task_runner=run_fleet_durability_point,
+            make_tasks=_fleet_durability_tasks,
+            merge=_fleet_durability_merge,
         ),
         tags=("fleet",),
     ))

@@ -21,8 +21,12 @@ from repro.experiments.fig05_access_time import run_fig05
 from repro.experiments.fig06_speedup import run_fig06
 from repro.experiments.fig07_ops_sweep import fig07_to_dict, run_fig07
 from repro.experiments.fleet import (
+    fleet_availability_to_dict,
+    fleet_durability_to_dict,
     fleet_failover_to_dict,
     fleet_scale_to_dict,
+    run_fleet_availability,
+    run_fleet_durability,
     run_fleet_failover,
     run_fleet_scale,
 )
@@ -64,6 +68,31 @@ FLEET_SCALE_PARAMS = {
 FLEET_FAILOVER_PARAMS = {
     "intensities": [0.0, 1.0, 4.0],
     "n_servers": 3,
+    "n_tenants": 2,
+    "requests": 2400,
+    "warmup": 600,
+    "epoch_requests": 300,
+    "n_keys": 1 << 10,
+    "offered_mrps": 16.0,
+    "engine": "fast",
+    "seed": 0,
+}
+FLEET_AVAILABILITY_PARAMS = {
+    "intensities": [0.0, 2.0, 6.0, 8.0],
+    "n_servers": 4,
+    "n_tenants": 2,
+    "requests": 2400,
+    "warmup": 600,
+    "epoch_requests": 200,
+    "n_keys": 1 << 10,
+    "offered_mrps": 16.0,
+    "engine": "fast",
+    "seed": 0,
+}
+FLEET_DURABILITY_PARAMS = {
+    "replications": [1, 2, 3],
+    "intensities": [0.0, 1.0, 2.0],
+    "n_servers": 4,
     "n_tenants": 2,
     "requests": 2400,
     "warmup": 600,
@@ -141,7 +170,27 @@ def regenerate() -> None:
     (GOLDEN_DIR / "fleet_failover.json").write_text(
         json.dumps(failover, indent=2) + "\n"
     )
-    print(f"wrote 7 golden files to {GOLDEN_DIR}")
+
+    availability = {"params": FLEET_AVAILABILITY_PARAMS, "rel_tol": 1e-6}
+    availability.update(
+        fleet_availability_to_dict(
+            run_fleet_availability(**FLEET_AVAILABILITY_PARAMS)
+        )
+    )
+    (GOLDEN_DIR / "fleet_availability.json").write_text(
+        json.dumps(availability, indent=2) + "\n"
+    )
+
+    durability = {"params": FLEET_DURABILITY_PARAMS, "rel_tol": 1e-6}
+    durability.update(
+        fleet_durability_to_dict(
+            run_fleet_durability(**FLEET_DURABILITY_PARAMS)
+        )
+    )
+    (GOLDEN_DIR / "fleet_durability.json").write_text(
+        json.dumps(durability, indent=2) + "\n"
+    )
+    print(f"wrote 9 golden files to {GOLDEN_DIR}")
 
 
 if __name__ == "__main__":

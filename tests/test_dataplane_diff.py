@@ -171,6 +171,38 @@ def test_fleet_identity_under_server_kills():
     assert_equal_report(report)
 
 
+def test_fleet_identity_with_self_healing():
+    """The self-healing loop (replication, detector, hinted handoff,
+    admission + shedding) freezes every decision at epoch boundaries,
+    so scalar and batched charging see identical work lists."""
+    report = run_fleet_differential(
+        n_servers=4,
+        n_tenants=3,
+        requests=1600,
+        warmup=400,
+        epoch_requests=200,
+        n_keys=1 << 9,
+        plan=FaultPlan(
+            seed=21,
+            rates=FaultRates(
+                server_kill=0.06,
+                server_stall=0.15,
+                server_stall_factor=6.0,
+                server_recovery_epochs_min=1,
+                server_recovery_epochs_max=3,
+            ),
+        ),
+        healing={
+            "replication": 2,
+            "detector_enabled": True,
+            "admit_tenant_mrps": 8.0,
+            "shed_lag_high_us": 25.0,
+            "shed_lag_low_us": 5.0,
+        },
+    )
+    assert_equal_report(report)
+
+
 # ----------------------------------------------------------------------
 # Hypothesis: arbitrary traces, chains, engines and plans
 # ----------------------------------------------------------------------

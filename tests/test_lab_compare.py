@@ -134,6 +134,7 @@ class TestGoldenBaseline:
         assert set(baseline["experiments"]) == {
             "fig05", "fig06", "fig07", "table3", "table4",
             "fleet-scale", "fleet-failover",
+            "fleet-availability", "fleet-durability",
         }
         fig06 = baseline["experiments"]["fig06"]
         assert fig06["tolerances"]["read_speedup_pct"] == {"abs": 0.5}
@@ -146,6 +147,7 @@ class TestGoldenBaseline:
             [
                 "fig05", "fig06", "fig07", "table3", "table4",
                 "fleet-scale", "fleet-failover",
+                "fleet-availability", "fleet-durability",
             ],
             jobs=1,
             seed=0,

@@ -52,6 +52,25 @@ TINY_OVERRIDES = {
         "epoch_requests": 300,
         "n_keys": 1 << 10,
     },
+    "fleet-availability": {
+        "intensities": [0.0, 6.0],
+        "n_servers": 3,
+        "n_tenants": 2,
+        "requests": 900,
+        "warmup": 300,
+        "epoch_requests": 150,
+        "n_keys": 1 << 10,
+    },
+    "fleet-durability": {
+        "replications": [1, 2],
+        "intensities": [0.0, 1.0],
+        "n_servers": 3,
+        "n_tenants": 2,
+        "requests": 900,
+        "warmup": 300,
+        "epoch_requests": 150,
+        "n_keys": 1 << 10,
+    },
 }
 
 
